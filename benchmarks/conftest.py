@@ -1,0 +1,76 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one of the paper's tables or figures.  Results are
+printed (visible with ``pytest -s``) and always written to
+``benchmarks/results/<name>.txt`` so a default captured run still produces
+the artifacts.
+
+Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``quick`` (default) — minutes-scale run: reduced training sizes, one
+  network instance, one split, capped test tuples.  Trends remain visible.
+* ``paper``             — the paper's settings (3x3 repetitions, up to 100k
+  training tuples).  Expect hours in pure Python.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import ExperimentConfig, format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if scale not in ("quick", "paper"):
+        raise ValueError("REPRO_BENCH_SCALE must be 'quick' or 'paper'")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def base_config(scale) -> ExperimentConfig:
+    """The shared experiment configuration at the selected scale."""
+    if scale == "paper":
+        return ExperimentConfig(
+            training_size=100_000,
+            support_threshold=0.001,
+            num_instances=3,
+            num_splits=3,
+            max_test_tuples=None,
+            seed=2011,
+        )
+    return ExperimentConfig(
+        training_size=3000,
+        support_threshold=0.005,
+        num_instances=1,
+        num_splits=1,
+        max_test_tuples=40,
+        seed=2011,
+    )
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, headers, rows, title: str = "", chart: str = ""):
+        text = format_table(headers, rows, title=title)
+        if chart:
+            text = text + "\n\n" + chart
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        return text
+
+    return _report

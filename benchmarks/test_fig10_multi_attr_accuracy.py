@@ -1,0 +1,77 @@
+"""Fig. 10: prediction accuracy of multi-variable inference.
+
+KL divergence vs Gibbs samples per tuple, for a varying number of missing
+attributes, on BN8 (very accurate), BN17 (larger, lower accuracy) and BN2
+(the paper's anomalous case).  Shapes to reproduce on BN8/BN17: accuracy
+improves with more samples per tuple, and fewer missing values are easier.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import run_multi_attribute_experiment
+
+
+def _sweep(name, config, sample_counts, missing_counts):
+    table = {}
+    for k in missing_counts:
+        for n in sample_counts:
+            run = run_multi_attribute_experiment(
+                name, config, num_missing=k,
+                num_samples=n, burn_in=max(50, n // 10),
+            )
+            table[(k, n)] = run.score
+    return table
+
+
+@pytest.fixture(scope="module")
+def sweep_params(scale):
+    if scale == "paper":
+        return [500, 1000, 2000, 5000], {"BN8": [2, 3, 4], "BN17": [2, 3, 4, 5], "BN2": [2, 3, 4]}
+    return [100, 400, 1200], {"BN8": [2, 3], "BN17": [2, 4], "BN2": [2, 3]}
+
+
+@pytest.fixture(scope="module")
+def cfg(base_config, scale):
+    if scale == "paper":
+        return base_config
+    return base_config.scaled(
+        training_size=4000, support_threshold=0.005, max_test_tuples=15
+    )
+
+
+@pytest.mark.parametrize("network", ["BN8", "BN17", "BN2"])
+def test_fig10(benchmark, report, cfg, sweep_params, network):
+    sample_counts, missing_by_net = sweep_params
+    missing_counts = missing_by_net[network]
+    table = benchmark.pedantic(
+        _sweep, args=(network, cfg, sample_counts, missing_counts),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        (k, n, round(table[(k, n)].mean_kl, 4),
+         round(table[(k, n)].top1_accuracy, 3))
+        for k in missing_counts
+        for n in sample_counts
+    ]
+    report(
+        f"fig10_{network}",
+        ["missing", "points/tuple", "KL", "top-1"],
+        rows,
+        title=f"Fig 10: multi-variable inference accuracy on {network}",
+    )
+    if network in ("BN8", "BN17"):
+        # Shape: more samples per tuple do not hurt accuracy.
+        for k in missing_counts:
+            first = table[(k, sample_counts[0])].mean_kl
+            last = table[(k, sample_counts[-1])].mean_kl
+            assert last <= first + 0.1, (network, k)
+        # Shape: fewer missing values are not harder.
+        easiest = missing_counts[0]
+        hardest = missing_counts[-1]
+        n = sample_counts[-1]
+        assert table[(easiest, n)].mean_kl <= table[(hardest, n)].mean_kl + 0.1
+    # Top-1 accuracy stays well above the random-guess floor throughout.
+    for k in missing_counts:
+        floor = 1.0 / (2 ** k if network != "BN2" else 5 ** k)
+        assert table[(k, sample_counts[-1])].top1_accuracy > floor

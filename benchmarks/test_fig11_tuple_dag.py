@@ -1,0 +1,119 @@
+"""Fig. 11: efficiency of multi-variable inference — tuple-DAG vs baseline.
+
+Sample size (total sampled points) and wall-clock time as a function of
+workload size, with 500 points sampled per incomplete tuple.  Shapes to
+reproduce: both grow linearly with workload size; tuple-DAG clearly
+outperforms tuple-at-a-time and grows with a much lower slope.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import forward_sample_relation, make_network
+from repro.bench import mask_relation
+from repro.core import learn_mrsl, workload_sampling
+
+NETWORKS = ["BN8", "BN9"]
+
+
+def _make_workload(name, config, workload_size, seed=0):
+    rng = np.random.default_rng(seed)
+    net = make_network(name, rng)
+    data = forward_sample_relation(net, config.training_size, rng)
+    model = learn_mrsl(data, support_threshold=config.support_threshold).model
+    test = forward_sample_relation(net, workload_size, rng)
+    num_attrs = len(net)
+    masked = mask_relation(test, list(range(2, num_attrs)), rng)
+    return model, list(masked)
+
+
+def _run(model, workload, strategy, num_samples, burn_in):
+    start = time.perf_counter()
+    _, stats = workload_sampling(
+        model, workload, num_samples=num_samples, burn_in=burn_in,
+        strategy=strategy, rng=1,
+    )
+    return stats.total_draws, time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def params(scale):
+    if scale == "paper":
+        return [500, 1000, 2000, 3000], 500, 100
+    return [40, 80, 160], 120, 30
+
+
+def test_fig11(benchmark, report, base_config, params, scale):
+    workload_sizes, num_samples, burn_in = params
+    cfg = base_config if scale == "paper" else base_config.scaled(
+        training_size=3000
+    )
+    rows = []
+
+    def run():
+        for name in NETWORKS:
+            for wsize in workload_sizes:
+                model, workload = _make_workload(name, cfg, wsize)
+                for strategy in ("tuple_at_a_time", "tuple_dag"):
+                    draws, elapsed = _run(
+                        model, workload, strategy, num_samples, burn_in
+                    )
+                    rows.append(
+                        (name, wsize, strategy, draws, round(elapsed, 3))
+                    )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.bench import ascii_chart
+
+    chart = ascii_chart(
+        {
+            f"{name}/{strategy}": [
+                (w, d)
+                for n, w, s, d, _ in rows
+                if n == name and s == strategy
+            ]
+            for name in NETWORKS
+            for strategy in ("tuple_at_a_time", "tuple_dag")
+        },
+        x_label="workload size",
+        y_label="sample size (draws)",
+    )
+    report(
+        "fig11",
+        ["network", "workload", "strategy", "sample size", "time (s)"],
+        rows,
+        title=f"Fig 11: tuple-DAG vs tuple-at-a-time ({num_samples} points/tuple)",
+        chart=chart,
+    )
+
+    for name in NETWORKS:
+        for wsize in workload_sizes:
+            sub = {
+                strat: (draws, t)
+                for n, w, strat, draws, t in rows
+                if n == name and w == wsize
+            }
+            dag_draws, dag_time = sub["tuple_dag"]
+            base_draws, base_time = sub["tuple_at_a_time"]
+            # Shape: tuple-DAG draws strictly fewer points in all cases.
+            assert dag_draws < base_draws, (name, wsize)
+
+        # Shape: the DAG's sample-size slope is visibly lower.
+        dag_series = sorted(
+            (w, d) for n, w, s, d, _ in rows
+            if n == name and s == "tuple_dag"
+        )
+        base_series = sorted(
+            (w, d) for n, w, s, d, _ in rows
+            if n == name and s == "tuple_at_a_time"
+        )
+        dag_slope = (dag_series[-1][1] - dag_series[0][1]) / (
+            dag_series[-1][0] - dag_series[0][0]
+        )
+        base_slope = (base_series[-1][1] - base_series[0][1]) / (
+            base_series[-1][0] - base_series[0][0]
+        )
+        assert dag_slope < base_slope, name

@@ -1,0 +1,71 @@
+"""Fig. 5: KL divergence and top-1 accuracy vs training set size.
+
+At support 0.001 the paper finds: KL decreases up to ~5000 training points
+then plateaus; *best* methods win for large training sets while *all*
+methods are more graceful at very small ones (bias/variance trade-off).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import ALL_VOTING_METHODS, run_single_attribute_experiment
+from repro.core import VoterChoice, VotingScheme
+
+NETWORKS = ["BN8", "BN9"]
+
+
+def _sweep(config, sizes):
+    table = {}
+    for size in sizes:
+        cfg = config.scaled(training_size=size)
+        per_method = {m: [] for m in ALL_VOTING_METHODS}
+        for name in NETWORKS:
+            runs = run_single_attribute_experiment(name, cfg)
+            for m in ALL_VOTING_METHODS:
+                per_method[m].append(runs[m].score)
+        table[size] = {
+            m: (
+                float(np.mean([s.mean_kl for s in scores])),
+                float(np.mean([s.top1_accuracy for s in scores])),
+            )
+            for m, scores in per_method.items()
+        }
+    return table
+
+
+def test_fig5(benchmark, report, base_config, scale):
+    sizes = (
+        [1000, 5000, 20_000, 50_000, 100_000]
+        if scale == "paper"
+        else [300, 1500, 6000]
+    )
+    cfg = base_config.scaled(
+        support_threshold=0.001 if scale == "paper" else 0.005
+    )
+    table = benchmark.pedantic(_sweep, args=(cfg, sizes), rounds=1, iterations=1)
+    headers = ["training size"]
+    for choice, scheme in ALL_VOTING_METHODS:
+        headers += [f"{choice.value}-{scheme.value} KL",
+                    f"{choice.value}-{scheme.value} top1"]
+    rows = []
+    for size in sizes:
+        row = [size]
+        for m in ALL_VOTING_METHODS:
+            kl, top1 = table[size][m]
+            row += [round(kl, 4), round(top1, 3)]
+        rows.append(row)
+    report(
+        "fig5",
+        headers,
+        rows,
+        title="Fig 5: KL and top-1 accuracy vs training set size",
+    )
+    best_avg = (VoterChoice.BEST, VotingScheme.AVERAGED)
+    kl_first = table[sizes[0]][best_avg][0]
+    kl_last = table[sizes[-1]][best_avg][0]
+    # Shape: more training data means lower (or equal) KL.
+    assert kl_last <= kl_first + 0.02
+    # Top-1 accuracy does not degrade with data.
+    top_first = table[sizes[0]][best_avg][1]
+    top_last = table[sizes[-1]][best_avg][1]
+    assert top_last >= top_first - 0.05

@@ -1,0 +1,82 @@
+"""Fig. 8: accuracy of inference vs network properties.
+
+(a) topology/depth has no direct effect: BN18, BN19, BN20 (10 attrs, card 2,
+    depths 2/3/5) show no accuracy difference;
+(b) network size matters for crown networks: BN8, BN9, BN17, BN18
+    (4/6/8/10 attrs) — smaller networks are more accurate;
+(c) attribute cardinality matters for line networks: BN13-BN16 (card
+    2/4/6/8) — lower cardinality is more accurate.
+
+All runs use best-averaged voting, the paper's most accurate configuration.
+"""
+
+import pytest
+
+from repro.bench import run_single_attribute_experiment
+from repro.core import VoterChoice, VotingScheme
+
+BEST_AVG = ((VoterChoice.BEST, VotingScheme.AVERAGED),)
+
+
+def _kl(name, config):
+    runs = run_single_attribute_experiment(name, config, methods=BEST_AVG)
+    return runs[BEST_AVG[0]].score.mean_kl
+
+
+@pytest.fixture(scope="module")
+def cfg(base_config, scale):
+    if scale == "paper":
+        return base_config
+    return base_config.scaled(training_size=8000, support_threshold=0.005)
+
+
+def test_fig8a_topology_has_no_effect(benchmark, report, cfg, scale):
+    networks = {"BN18": 2, "BN19": 3, "BN20": 5}
+    kls = benchmark.pedantic(
+        lambda: {n: _kl(n, cfg) for n in networks}, rounds=1, iterations=1
+    )
+    report(
+        "fig8a",
+        ["network", "depth", "avg KL"],
+        [(n, networks[n], round(kls[n], 4)) for n in networks],
+        title="Fig 8(a): KL vs network depth (10 attrs, card 2)",
+    )
+    values = list(kls.values())
+    # "No difference in accuracy among these networks": spread stays small.
+    # Full convergence of the deeper networks needs paper-scale training;
+    # quick scale allows a wider (but still flat-ish) band.
+    assert max(values) - min(values) < (0.1 if scale == "paper" else 0.2)
+
+
+def test_fig8b_size_matters_for_crowns(benchmark, report, cfg):
+    networks = {"BN8": 4, "BN9": 6, "BN17": 8, "BN18": 10}
+    kls = benchmark.pedantic(
+        lambda: {n: _kl(n, cfg) for n in networks}, rounds=1, iterations=1
+    )
+    report(
+        "fig8b",
+        ["network", "num attrs", "avg KL"],
+        [(n, networks[n], round(kls[n], 4)) for n in networks],
+        title="Fig 8(b): KL vs number of attributes (crown networks)",
+    )
+    # Shape: the smallest crown is at least as accurate as the largest.
+    assert kls["BN8"] <= kls["BN18"] + 0.02
+
+
+def test_fig8c_cardinality_matters_for_lines(benchmark, report, cfg, scale):
+    networks = {"BN13": 2, "BN14": 4, "BN15": 6, "BN16": 8}
+    if scale != "paper":
+        # Drop the card-8 network in quick mode (largest domain, slowest).
+        networks.pop("BN16")
+    kls = benchmark.pedantic(
+        lambda: {n: _kl(n, cfg) for n in networks}, rounds=1, iterations=1
+    )
+    report(
+        "fig8c",
+        ["network", "cardinality", "avg KL"],
+        [(n, networks[n], round(kls[n], 4)) for n in networks],
+        title="Fig 8(c): KL vs attribute cardinality (line networks)",
+    )
+    names = sorted(networks, key=lambda n: networks[n])
+    # Shape: lower cardinality is more accurate end-to-end.
+    assert kls[names[0]] <= kls[names[-1]] + 0.02

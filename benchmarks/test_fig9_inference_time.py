@@ -1,0 +1,90 @@
+"""Fig. 9: single-attribute inference time vs model size.
+
+The paper batches 1000/5000/10000 test tuples and finds inference time
+scales linearly with both model size and batch size (0.153 ms/tuple for
+models under 10k meta-rules on their hardware; absolute pure-Python numbers
+differ, the linear shape is what we reproduce).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import forward_sample_relation, make_network
+from repro.bench import mask_relation
+from repro.core import infer_all_single_missing, learn_mrsl
+
+#: Networks chosen to span a range of model sizes.
+NETWORKS = ["BN8", "BN10", "BN11"]
+
+
+def _prepare(name, training, support, batch, seed=0):
+    rng = np.random.default_rng(seed)
+    net = make_network(name, rng)
+    data = forward_sample_relation(net, training, rng)
+    model = learn_mrsl(data, support_threshold=support).model
+    test = forward_sample_relation(net, batch, rng)
+    masked = list(mask_relation(test, 1, rng))
+    return model, masked
+
+
+def _time_inference(model, masked):
+    start = time.perf_counter()
+    infer_all_single_missing(masked, model)
+    return time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def batches(scale):
+    return [1000, 5000, 10_000] if scale == "paper" else [200, 500, 1000]
+
+
+def test_fig9(benchmark, report, base_config, batches, scale):
+    training = 20_000 if scale == "paper" else 3000
+    support = 0.001 if scale == "paper" else 0.005
+    rows = []
+
+    def run():
+        for name in NETWORKS:
+            for batch in batches:
+                model, masked = _prepare(name, training, support, batch)
+                elapsed = _time_inference(model, masked)
+                rows.append(
+                    (
+                        name,
+                        model.size(),
+                        batch,
+                        round(elapsed, 4),
+                        round(1000 * elapsed / batch, 4),
+                    )
+                )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "fig9",
+        ["network", "model size", "batch", "time (s)", "ms/tuple"],
+        rows,
+        title="Fig 9: inference time vs model size and batch size",
+    )
+    # Shape 1: within a network, time grows linearly with batch size.
+    for name in NETWORKS:
+        series = [(b, t) for n, _, b, t, _ in rows if n == name]
+        series.sort()
+        small_b, small_t = series[0]
+        big_b, big_t = series[-1]
+        ratio = big_t / max(small_t, 1e-9)
+        assert ratio < (big_b / small_b) * 3, f"{name} batch scaling super-linear"
+    # Shape 2: larger models cost more per tuple (linear-in-model-size trend).
+    per_tuple = {}
+    for name, msize, b, t, ms in rows:
+        per_tuple.setdefault(name, []).append((msize, ms))
+    avg_cost = {
+        name: float(np.mean([ms for _, ms in vals]))
+        for name, vals in per_tuple.items()
+    }
+    sizes = {name: vals[0][0] for name, vals in per_tuple.items()}
+    smallest = min(NETWORKS, key=lambda n: sizes[n])
+    largest = max(NETWORKS, key=lambda n: sizes[n])
+    assert avg_cost[smallest] <= avg_cost[largest] * 1.5

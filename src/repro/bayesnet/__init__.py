@@ -1,0 +1,49 @@
+"""Bayesian-network substrate for the experimental framework.
+
+Provides the data-generating models of Section VI: DAG structures with
+random CPTs (the BN Instance Generator), forward sampling (the BN Sampler),
+exact posterior computation (ground truth for accuracy scoring), and the
+reconstructed 20-network catalog of Table I.
+"""
+
+from .catalog import CATALOG, NetworkSpec, get_spec, make_network, table1_rows
+from .elimination import joint_posterior, marginal, posterior
+from .factor import Factor
+from .generator import DEFAULT_CONCENTRATION, generate_instance
+from .network import BayesianNetwork, Variable, network_depth
+from .sampler import forward_sample_codes, forward_sample_relation
+from .topology import (
+    Topology,
+    crown_topology,
+    independent_topology,
+    layered_topology,
+    line_topology,
+    random_dag_topology,
+    tree_topology,
+)
+
+__all__ = [
+    "Factor",
+    "Variable",
+    "BayesianNetwork",
+    "network_depth",
+    "Topology",
+    "independent_topology",
+    "line_topology",
+    "crown_topology",
+    "layered_topology",
+    "tree_topology",
+    "random_dag_topology",
+    "generate_instance",
+    "DEFAULT_CONCENTRATION",
+    "forward_sample_codes",
+    "forward_sample_relation",
+    "posterior",
+    "joint_posterior",
+    "marginal",
+    "NetworkSpec",
+    "CATALOG",
+    "get_spec",
+    "make_network",
+    "table1_rows",
+]

@@ -1,0 +1,119 @@
+"""Discrete factors: the workhorse of exact Bayesian-network inference.
+
+A factor is a non-negative table over a tuple of named discrete variables.
+Products, marginalization and evidence reduction are implemented with numpy
+broadcasting.  Used by :mod:`repro.bayesnet.elimination` to compute the true
+posterior distributions that the experimental framework scores against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Factor"]
+
+
+class Factor:
+    """A table ``phi(v1, .., vk)`` over named discrete variables.
+
+    ``variables`` orders the axes of ``table``; ``table.shape[i]`` is the
+    cardinality of ``variables[i]``.
+    """
+
+    __slots__ = ("variables", "table")
+
+    def __init__(self, variables: Sequence[str], table: np.ndarray):
+        variables = tuple(variables)
+        table = np.asarray(table, dtype=np.float64)
+        if table.ndim != len(variables):
+            raise ValueError(
+                f"table has {table.ndim} axes for {len(variables)} variables"
+            )
+        if len(set(variables)) != len(variables):
+            raise ValueError("duplicate variable names in factor")
+        if (table < 0).any():
+            raise ValueError("factor tables must be non-negative")
+        self.variables = variables
+        self.table = table
+
+    def cardinality(self, variable: str) -> int:
+        """Cardinality of ``variable`` in this factor."""
+        return self.table.shape[self.variables.index(variable)]
+
+    # -- operations --------------------------------------------------------------
+
+    def multiply(self, other: "Factor") -> "Factor":
+        """Pointwise product over the union of variable scopes."""
+        union = list(self.variables)
+        for v in other.variables:
+            if v not in union:
+                union.append(v)
+        a = _expand(self, union)
+        b = _expand(other, union)
+        return Factor(union, a * b)
+
+    def marginalize(self, variable: str) -> "Factor":
+        """Sum out ``variable``."""
+        if variable not in self.variables:
+            raise ValueError(f"variable {variable!r} not in factor scope")
+        axis = self.variables.index(variable)
+        remaining = tuple(v for v in self.variables if v != variable)
+        return Factor(remaining, self.table.sum(axis=axis))
+
+    def marginalize_all_but(self, keep: Iterable[str]) -> "Factor":
+        """Sum out every variable not in ``keep``."""
+        keep = set(keep)
+        out = self
+        for v in self.variables:
+            if v not in keep:
+                out = out.marginalize(v)
+        return out
+
+    def reduce(self, evidence: Mapping[str, int]) -> "Factor":
+        """Fix some variables to observed value codes, dropping their axes."""
+        out_vars = []
+        indexer: list[object] = []
+        for v in self.variables:
+            if v in evidence:
+                indexer.append(int(evidence[v]))
+            else:
+                indexer.append(slice(None))
+                out_vars.append(v)
+        return Factor(out_vars, self.table[tuple(indexer)])
+
+    def normalized(self) -> "Factor":
+        """Scale the table so it sums to 1."""
+        total = self.table.sum()
+        if total <= 0:
+            raise ValueError("cannot normalize a zero factor")
+        return Factor(self.variables, self.table / total)
+
+    def transpose(self, order: Sequence[str]) -> "Factor":
+        """Reorder the variable axes."""
+        order = tuple(order)
+        if set(order) != set(self.variables):
+            raise ValueError("transpose order must be a permutation of the scope")
+        axes = [self.variables.index(v) for v in order]
+        return Factor(order, self.table.transpose(axes))
+
+    def __repr__(self) -> str:
+        return f"Factor({self.variables}, shape={self.table.shape})"
+
+
+def _expand(factor: Factor, union: Sequence[str]) -> np.ndarray:
+    """Broadcast ``factor.table`` to axes ordered by ``union``."""
+    # Move existing axes into union order, then insert singleton axes.
+    present = [v for v in union if v in factor.variables]
+    ordered = factor.transpose(present) if present else factor
+    table = ordered.table
+    shape = []
+    src_axis = 0
+    for v in union:
+        if v in factor.variables:
+            shape.append(table.shape[src_axis])
+            src_axis += 1
+        else:
+            shape.append(1)
+    return table.reshape(shape)

@@ -1,0 +1,196 @@
+"""Bayesian networks: DAG structure plus conditional probability tables.
+
+The experimental framework of Section VI-A generates data from Bayesian
+networks of known topology, which also supply the ground-truth posteriors
+that inferred distributions are scored against.  Variables are discrete;
+CPTs are stored with parent axes first and the child axis last.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..relational.schema import Attribute, Schema
+from .factor import Factor
+
+__all__ = ["Variable", "BayesianNetwork", "network_depth"]
+
+
+class Variable:
+    """One node: a name, a cardinality, parent names and a CPT.
+
+    ``cpt`` has shape ``(card(parent_1), ..., card(parent_m), card(self))``
+    and each slice over the last axis sums to 1.
+    """
+
+    __slots__ = ("name", "cardinality", "parents", "cpt")
+
+    def __init__(
+        self,
+        name: str,
+        cardinality: int,
+        parents: Sequence[str],
+        cpt: np.ndarray,
+    ):
+        if cardinality < 2:
+            raise ValueError(f"variable {name!r} needs cardinality >= 2")
+        parents = tuple(parents)
+        cpt = np.asarray(cpt, dtype=np.float64)
+        if cpt.shape[-1] != cardinality:
+            raise ValueError(
+                f"CPT child axis of {name!r} has size {cpt.shape[-1]}, "
+                f"expected {cardinality}"
+            )
+        if cpt.ndim != len(parents) + 1:
+            raise ValueError(
+                f"CPT of {name!r} has {cpt.ndim} axes for {len(parents)} parents"
+            )
+        if (cpt < 0).any():
+            raise ValueError(f"CPT of {name!r} has negative entries")
+        sums = cpt.sum(axis=-1)
+        if not np.allclose(sums, 1.0, atol=1e-9):
+            raise ValueError(f"CPT rows of {name!r} do not sum to 1")
+        self.name = name
+        self.cardinality = cardinality
+        self.parents = parents
+        self.cpt = cpt
+
+    def to_factor(self) -> Factor:
+        """The CPT as a factor ``phi(parents..., self)``."""
+        return Factor(self.parents + (self.name,), self.cpt)
+
+    def __repr__(self) -> str:
+        return (
+            f"Variable({self.name!r}, card={self.cardinality}, "
+            f"parents={list(self.parents)})"
+        )
+
+
+class BayesianNetwork:
+    """A directed acyclic model over discrete variables."""
+
+    def __init__(self, variables: Sequence[Variable]):
+        self.variables = tuple(variables)
+        self._by_name = {v.name: v for v in self.variables}
+        if len(self._by_name) != len(self.variables):
+            raise ValueError("duplicate variable names")
+        for v in self.variables:
+            for p in v.parents:
+                if p not in self._by_name:
+                    raise ValueError(
+                        f"variable {v.name!r} has unknown parent {p!r}"
+                    )
+                expected = self._by_name[p].cardinality
+                axis = v.parents.index(p)
+                if v.cpt.shape[axis] != expected:
+                    raise ValueError(
+                        f"CPT of {v.name!r}: parent {p!r} axis has size "
+                        f"{v.cpt.shape[axis]}, expected {expected}"
+                    )
+        self.order = self._topological_order()
+
+    # -- structure -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.variables)
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self.variables)
+
+    def __getitem__(self, name: str) -> Variable:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(v.name for v in self.variables)
+
+    def edges(self) -> list[tuple[str, str]]:
+        """All (parent, child) edges."""
+        return [(p, v.name) for v in self.variables for p in v.parents]
+
+    def children(self, name: str) -> list[str]:
+        return [v.name for v in self.variables if name in v.parents]
+
+    def _topological_order(self) -> tuple[str, ...]:
+        """Kahn's algorithm; raises on cycles."""
+        indegree = {v.name: len(v.parents) for v in self.variables}
+        ready = [name for name, deg in indegree.items() if deg == 0]
+        order: list[str] = []
+        while ready:
+            name = ready.pop()
+            order.append(name)
+            for child in self.children(name):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    ready.append(child)
+        if len(order) != len(self.variables):
+            raise ValueError("network graph contains a cycle")
+        return tuple(order)
+
+    def depth(self) -> int:
+        """Longest directed path, counted in *nodes* (0 if there are no edges).
+
+        Table I reports 0 for fully independent networks and ``n`` for a
+        chain of ``n`` nodes, i.e. the node count of the longest path, with
+        the edge-free case pinned to 0.
+        """
+        return network_depth(self.edges(), self.names)
+
+    # -- conversion ------------------------------------------------------------------
+
+    def to_schema(self) -> Schema:
+        """Schema with one attribute per variable.
+
+        Domain values are the strings ``"v0" .. "v{k-1}"`` so relations built
+        from network samples are self-describing; code ``i`` always maps to
+        value ``"v{i}"``.
+        """
+        return Schema(
+            Attribute(v.name, tuple(f"v{i}" for i in range(v.cardinality)))
+            for v in self.variables
+        )
+
+    def joint_factor(self) -> Factor:
+        """The full joint distribution as one factor (small networks only)."""
+        result: Factor | None = None
+        for v in self.variables:
+            f = v.to_factor()
+            result = f if result is None else result.multiply(f)
+        assert result is not None
+        return result.normalized()
+
+    def __repr__(self) -> str:
+        return (
+            f"BayesianNetwork({len(self)} variables, "
+            f"{len(self.edges())} edges, depth={self.depth()})"
+        )
+
+
+def network_depth(
+    edges: Sequence[tuple[str, str]], names: Sequence[str]
+) -> int:
+    """Longest directed path in nodes; 0 for an edge-free graph.
+
+    Helper shared with the topology catalog so specs can be checked against
+    Table I without instantiating CPTs.
+    """
+    if not edges:
+        return 0
+    parents: Mapping[str, list[str]] = {n: [] for n in names}
+    for parent, child in edges:
+        parents[child].append(parent)
+
+    longest: dict[str, int] = {}
+
+    def chain_length(node: str) -> int:
+        if node not in longest:
+            preds = parents[node]
+            longest[node] = 1 + (max(chain_length(p) for p in preds) if preds else 0)
+        return longest[node]
+
+    return max(chain_length(n) for n in names)

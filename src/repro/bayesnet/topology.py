@@ -1,0 +1,181 @@
+"""Network topology builders: edge lists for the families used in Table I.
+
+A *topology* here is just ``(names, cardinalities, edges)``; CPTs are filled
+in later by :mod:`repro.bayesnet.generator`.  The families match Fig. 7 of
+the paper:
+
+* ``independent`` — no edges (depth 0; BN4).
+* ``line`` — a directed chain (BN13-BN16; depth = number of nodes).
+* ``crown`` — two layers, each child has two adjacent roots as parents
+  (BN8, BN9, BN17, BN18; depth 2).
+* ``layered`` — nodes split across ``depth`` layers, each node drawing
+  parents from the previous layer (BN19, BN20 and the irregular networks).
+* ``tree`` — a rooted out-tree.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "Topology",
+    "independent_topology",
+    "line_topology",
+    "crown_topology",
+    "layered_topology",
+    "tree_topology",
+    "random_dag_topology",
+]
+
+
+class Topology:
+    """An unparameterized network structure."""
+
+    __slots__ = ("names", "cardinalities", "edges")
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        cardinalities: Sequence[int],
+        edges: Sequence[tuple[str, str]],
+    ):
+        names = tuple(names)
+        cardinalities = tuple(int(c) for c in cardinalities)
+        if len(names) != len(cardinalities):
+            raise ValueError("names and cardinalities must have equal length")
+        known = set(names)
+        for parent, child in edges:
+            if parent not in known or child not in known:
+                raise ValueError(f"edge ({parent}, {child}) references unknown node")
+        self.names = names
+        self.cardinalities = cardinalities
+        self.edges = tuple(edges)
+
+    def parents_of(self, name: str) -> tuple[str, ...]:
+        return tuple(p for p, c in self.edges if c == name)
+
+    def domain_size(self) -> int:
+        size = 1
+        for c in self.cardinalities:
+            size *= c
+        return size
+
+    def average_cardinality(self) -> float:
+        return sum(self.cardinalities) / len(self.cardinalities)
+
+    def depth(self) -> int:
+        from .network import network_depth
+
+        return network_depth(self.edges, self.names)
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({len(self.names)} nodes, {len(self.edges)} edges, "
+            f"depth={self.depth()})"
+        )
+
+
+def _names(n: int) -> tuple[str, ...]:
+    return tuple(f"x{i}" for i in range(n))
+
+
+def independent_topology(cardinalities: Sequence[int]) -> Topology:
+    """All attributes independent: no edges, depth 0 (BN4)."""
+    names = _names(len(cardinalities))
+    return Topology(names, cardinalities, ())
+
+
+def line_topology(cardinalities: Sequence[int]) -> Topology:
+    """A directed chain ``x0 -> x1 -> ... -> x{n-1}`` (BN13-BN16)."""
+    names = _names(len(cardinalities))
+    edges = [(names[i], names[i + 1]) for i in range(len(names) - 1)]
+    return Topology(names, cardinalities, edges)
+
+
+def crown_topology(cardinalities: Sequence[int]) -> Topology:
+    """A two-layer crown (BN8, BN9, BN17, BN18).
+
+    The first ``ceil(n/2)`` nodes are roots; each of the remaining nodes has
+    two adjacent roots as parents (wrapping around), producing the
+    interleaved "crown" of Fig. 7 with node-depth 2.
+    """
+    n = len(cardinalities)
+    if n < 3:
+        raise ValueError("a crown needs at least 3 nodes")
+    names = _names(n)
+    num_roots = (n + 1) // 2
+    roots = names[:num_roots]
+    edges: list[tuple[str, str]] = []
+    for j, child in enumerate(names[num_roots:]):
+        left = roots[j % num_roots]
+        right = roots[(j + 1) % num_roots]
+        edges.append((left, child))
+        if right != left:
+            edges.append((right, child))
+    return Topology(names, cardinalities, edges)
+
+
+def layered_topology(
+    cardinalities: Sequence[int],
+    depth: int,
+    max_parents: int = 2,
+    seed: int = 0,
+) -> Topology:
+    """Split ``n`` nodes into ``depth`` layers; parents come from the layer above.
+
+    Every non-top-layer node receives at least one parent from the directly
+    preceding layer, so the node-depth equals ``depth`` exactly.  Structure is
+    deterministic for a given ``seed``.
+    """
+    n = len(cardinalities)
+    if not 1 <= depth <= n:
+        raise ValueError("depth must be between 1 and the node count")
+    names = _names(n)
+    rng = np.random.default_rng(seed)
+    base, extra = divmod(n, depth)
+    layers: list[list[str]] = []
+    start = 0
+    for layer_idx in range(depth):
+        size = base + (1 if layer_idx < extra else 0)
+        layers.append(list(names[start : start + size]))
+        start += size
+    edges: list[tuple[str, str]] = []
+    for prev, layer in zip(layers, layers[1:]):
+        for child in layer:
+            k = min(max_parents, len(prev))
+            num_parents = 1 if k == 1 else int(rng.integers(1, k + 1))
+            chosen = rng.choice(len(prev), size=num_parents, replace=False)
+            for idx in sorted(int(i) for i in chosen):
+                edges.append((prev[idx], child))
+    return Topology(names, cardinalities, edges)
+
+
+def tree_topology(cardinalities: Sequence[int], branching: int = 2) -> Topology:
+    """A rooted out-tree with fan-out ``branching``."""
+    n = len(cardinalities)
+    names = _names(n)
+    edges = []
+    for i in range(1, n):
+        parent = names[(i - 1) // branching]
+        edges.append((parent, names[i]))
+    return Topology(names, cardinalities, edges)
+
+
+def random_dag_topology(
+    cardinalities: Sequence[int], edge_prob: float = 0.3, seed: int = 0
+) -> Topology:
+    """A random DAG: each pair ``(i, j)`` with ``i < j`` is an edge w.p. ``edge_prob``."""
+    if not 0.0 <= edge_prob <= 1.0:
+        raise ValueError("edge_prob must be within [0, 1]")
+    n = len(cardinalities)
+    names = _names(n)
+    rng = np.random.default_rng(seed)
+    edges = [
+        (names[i], names[j])
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < edge_prob
+    ]
+    return Topology(names, cardinalities, edges)

@@ -1,0 +1,59 @@
+"""Experimental framework: Section VI's pipeline, metrics and baselines."""
+
+from .baselines import independent_product, random_guess_top1
+from .charts import ascii_chart
+from .eracer import NaiveBayesImputer
+from .framework import (
+    ALL_VOTING_METHODS,
+    ExperimentConfig,
+    LearningRun,
+    MultiAttributeRun,
+    SingleAttributeRun,
+    run_learning_experiment,
+    run_multi_attribute_experiment,
+    run_single_attribute_experiment,
+)
+from .masking import (
+    mask_relation,
+    mask_relation_mar,
+    mask_relation_mnar,
+    mask_tuple,
+)
+from .sweeps import Sweep, SweepResult
+from .metrics import (
+    AccuracyScore,
+    aggregate,
+    score_prediction,
+    true_joint_posterior,
+    true_single_posterior,
+)
+from .reporting import format_series, format_table, print_table
+
+__all__ = [
+    "ExperimentConfig",
+    "ALL_VOTING_METHODS",
+    "LearningRun",
+    "SingleAttributeRun",
+    "MultiAttributeRun",
+    "run_learning_experiment",
+    "run_single_attribute_experiment",
+    "run_multi_attribute_experiment",
+    "mask_tuple",
+    "mask_relation",
+    "mask_relation_mar",
+    "mask_relation_mnar",
+    "AccuracyScore",
+    "score_prediction",
+    "aggregate",
+    "true_single_posterior",
+    "true_joint_posterior",
+    "independent_product",
+    "random_guess_top1",
+    "NaiveBayesImputer",
+    "format_table",
+    "print_table",
+    "format_series",
+    "ascii_chart",
+    "Sweep",
+    "SweepResult",
+]

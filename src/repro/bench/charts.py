@@ -1,0 +1,60 @@
+"""ASCII line charts for benchmark figures.
+
+The paper's figures are line charts; the bench harness renders each series
+as a terminal-friendly scatter/line plot appended to the result tables, so
+a quick-scale run produces figure-shaped artifacts without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["ascii_chart"]
+
+
+def ascii_chart(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series on one shared-axis ASCII canvas.
+
+    Each series gets a marker character (``*``, ``o``, ``+``, ``x``, ...);
+    the legend maps markers back to names.  Points are plotted at their
+    nearest cell; later series overwrite earlier ones on collisions.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 10 or height < 4:
+        raise ValueError("canvas too small")
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@%&"
+    legend = []
+    for marker, (name, pts) in zip(markers, series.items()):
+        legend.append(f"{marker} = {name}")
+        for x, y in pts:
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = [f"{y_label} (top={y_hi:g}, bottom={y_lo:g})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:g} .. {x_hi:g}")
+    lines.append(" " + "   ".join(legend))
+    return "\n".join(lines)

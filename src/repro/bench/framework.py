@@ -1,0 +1,286 @@
+"""The experimental framework of Section VI-A.
+
+The pipeline, exactly as described in the paper:
+
+1. take a network topology (Table I catalog) and instantiate parameters
+   randomly — **3 network instances per topology**, all results averaged;
+2. forward-sample a complete dataset of the requested size;
+3. split into training (90%) and test (10%) — **3 random splits**, averaged;
+4. learn the MRSL model from the training split;
+5. mask one or more uniformly chosen attribute values per test tuple;
+6. run inference over the masked test set;
+7. score predicted distributions against the generating network's exact
+   posteriors (KL divergence, top-1 accuracy).
+
+Experiments run at a configurable scale: paper-scale settings (100k training
+tuples, 3x3 repetitions) are expensive in pure Python, so
+:class:`ExperimentConfig` defaults are modest and the benchmark harness
+scales them through ``REPRO_BENCH_SCALE`` (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..bayesnet.catalog import make_network
+from ..bayesnet.generator import DEFAULT_CONCENTRATION
+from ..bayesnet.network import BayesianNetwork
+from ..bayesnet.sampler import forward_sample_relation
+from ..core.inference import VoterChoice, VotingScheme, infer_single
+from ..core.learning import learn_mrsl
+from ..core.mrsl import MRSLModel
+from ..core.tuple_dag import SamplingStats, workload_sampling
+from ..relational.relation import Relation
+from .masking import mask_relation
+from .metrics import (
+    AccuracyScore,
+    aggregate,
+    score_prediction,
+    true_joint_posterior,
+    true_single_posterior,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ALL_VOTING_METHODS",
+    "LearningRun",
+    "SingleAttributeRun",
+    "MultiAttributeRun",
+    "run_learning_experiment",
+    "run_single_attribute_experiment",
+    "run_multi_attribute_experiment",
+]
+
+#: The four method combinations of Table II, in its column order.
+ALL_VOTING_METHODS: tuple[tuple[VoterChoice, VotingScheme], ...] = (
+    (VoterChoice.ALL, VotingScheme.AVERAGED),
+    (VoterChoice.ALL, VotingScheme.WEIGHTED),
+    (VoterChoice.BEST, VotingScheme.AVERAGED),
+    (VoterChoice.BEST, VotingScheme.WEIGHTED),
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs of the Section VI-A pipeline."""
+
+    training_size: int = 5000
+    support_threshold: float = 0.01
+    max_itemsets: int = 1000
+    #: random network instances per topology (paper: 3)
+    num_instances: int = 3
+    #: random train/test splits per instance (paper: 3)
+    num_splits: int = 3
+    test_fraction: float = 0.1
+    #: cap on scored test tuples per split (None = all); keeps pure-Python
+    #: runtimes sane without changing the estimators
+    max_test_tuples: int | None = 200
+    concentration: float = DEFAULT_CONCENTRATION
+    seed: int = 0
+
+    def scaled(self, **overrides) -> "ExperimentConfig":
+        """A copy with some fields replaced (convenience for sweeps)."""
+        return replace(self, **overrides)
+
+
+@dataclass
+class LearningRun:
+    """Averaged outcome of repeated Algorithm 1 runs (Fig. 4 measurements)."""
+
+    network: str
+    training_size: int
+    support_threshold: float
+    learn_time_sec: float
+    model_size: float
+    truncated: bool
+
+
+@dataclass
+class SingleAttributeRun:
+    """Averaged single-missing-attribute accuracy (Table II, Figs 5-6, 8, 9)."""
+
+    network: str
+    method: tuple[VoterChoice, VotingScheme]
+    score: AccuracyScore
+    #: wall-clock seconds spent in Algorithm 2 across all scored tuples
+    inference_time_sec: float
+    model_size: float
+
+
+@dataclass
+class MultiAttributeRun:
+    """Averaged multi-missing-attribute accuracy (Figs 10-11)."""
+
+    network: str
+    num_missing: int
+    num_samples: int
+    strategy: str
+    score: AccuracyScore
+    wall_time_sec: float
+    stats: SamplingStats
+
+
+def _instances(
+    network_name: str, config: ExperimentConfig
+) -> list[tuple[BayesianNetwork, np.random.Generator]]:
+    """The seeded network instances for one experiment."""
+    out = []
+    for i in range(config.num_instances):
+        rng = np.random.default_rng((config.seed, i))
+        network = make_network(network_name, rng, concentration=config.concentration)
+        out.append((network, rng))
+    return out
+
+
+def _dataset_size(config: ExperimentConfig) -> int:
+    """Total sample count so the training split hits ``training_size``."""
+    return max(int(round(config.training_size / (1.0 - config.test_fraction))), 2)
+
+
+def _splits(
+    data: Relation, config: ExperimentConfig, rng: np.random.Generator
+) -> list[tuple[Relation, Relation]]:
+    return [
+        data.split(1.0 - config.test_fraction, rng)
+        for _ in range(config.num_splits)
+    ]
+
+
+def run_learning_experiment(
+    network_name: str, config: ExperimentConfig
+) -> LearningRun:
+    """Measure Algorithm 1: learning time and model size (Fig. 4)."""
+    times = []
+    sizes = []
+    truncated = False
+    for network, rng in _instances(network_name, config):
+        data = forward_sample_relation(network, config.training_size, rng)
+        start = time.perf_counter()
+        result = learn_mrsl(
+            data,
+            support_threshold=config.support_threshold,
+            max_itemsets=config.max_itemsets,
+        )
+        times.append(time.perf_counter() - start)
+        sizes.append(result.model_size)
+        truncated = truncated or result.itemsets.truncated
+    return LearningRun(
+        network=network_name,
+        training_size=config.training_size,
+        support_threshold=config.support_threshold,
+        learn_time_sec=float(np.mean(times)),
+        model_size=float(np.mean(sizes)),
+        truncated=truncated,
+    )
+
+
+def run_single_attribute_experiment(
+    network_name: str,
+    config: ExperimentConfig,
+    methods: tuple[tuple[VoterChoice, VotingScheme], ...] = ALL_VOTING_METHODS,
+) -> dict[tuple[VoterChoice, VotingScheme], SingleAttributeRun]:
+    """The Section VI-C experiment: accuracy of single-attribute inference.
+
+    Returns one averaged :class:`SingleAttributeRun` per voting method.
+    """
+    per_method_scores: dict[tuple, list[tuple[float, bool]]] = {
+        m: [] for m in methods
+    }
+    per_method_time = {m: 0.0 for m in methods}
+    model_sizes = []
+    for network, rng in _instances(network_name, config):
+        data = forward_sample_relation(network, _dataset_size(config), rng)
+        for train, test in _splits(data, config, rng):
+            model = learn_mrsl(
+                train,
+                support_threshold=config.support_threshold,
+                max_itemsets=config.max_itemsets,
+            ).model
+            model_sizes.append(model.size())
+            if config.max_test_tuples is not None and len(test) > config.max_test_tuples:
+                test = Relation.from_codes(
+                    test.schema, test.codes[: config.max_test_tuples]
+                )
+            masked = mask_relation(test, 1, rng)
+            for t in masked:
+                true = true_single_posterior(network, t)
+                pos = t.missing_positions[0]
+                for method in methods:
+                    choice, scheme = method
+                    start = time.perf_counter()
+                    predicted = infer_single(t, model[pos], choice, scheme)
+                    per_method_time[method] += time.perf_counter() - start
+                    per_method_scores[method].append(
+                        score_prediction(true, predicted)
+                    )
+    return {
+        method: SingleAttributeRun(
+            network=network_name,
+            method=method,
+            score=aggregate(scores),
+            inference_time_sec=per_method_time[method],
+            model_size=float(np.mean(model_sizes)),
+        )
+        for method, scores in per_method_scores.items()
+    }
+
+
+def run_multi_attribute_experiment(
+    network_name: str,
+    config: ExperimentConfig,
+    num_missing: int,
+    num_samples: int = 500,
+    burn_in: int = 100,
+    strategy: str = "tuple_dag",
+    v_choice: VoterChoice | str = VoterChoice.BEST,
+    v_scheme: VotingScheme | str = VotingScheme.AVERAGED,
+) -> MultiAttributeRun:
+    """The Section VI-D experiment: sampling-based multi-attribute inference."""
+    scores: list[tuple[float, bool]] = []
+    wall = 0.0
+    totals = SamplingStats()
+    for network, rng in _instances(network_name, config):
+        data = forward_sample_relation(network, _dataset_size(config), rng)
+        for train, test in _splits(data, config, rng):
+            model = learn_mrsl(
+                train,
+                support_threshold=config.support_threshold,
+                max_itemsets=config.max_itemsets,
+            ).model
+            if config.max_test_tuples is not None and len(test) > config.max_test_tuples:
+                test = Relation.from_codes(
+                    test.schema, test.codes[: config.max_test_tuples]
+                )
+            masked = mask_relation(test, num_missing, rng)
+            workload = list(masked)
+            start = time.perf_counter()
+            blocks, stats = workload_sampling(
+                model,
+                workload,
+                num_samples=num_samples,
+                burn_in=burn_in,
+                strategy=strategy,
+                v_choice=v_choice,
+                v_scheme=v_scheme,
+                rng=rng,
+            )
+            wall += time.perf_counter() - start
+            totals.total_draws += stats.total_draws
+            totals.burn_in_draws += stats.burn_in_draws
+            totals.shared_tuples += stats.shared_tuples
+            totals.promoted_tuples += stats.promoted_tuples
+            for t, block in zip(workload, blocks):
+                true = true_joint_posterior(network, t)
+                scores.append(score_prediction(true, block.distribution))
+    return MultiAttributeRun(
+        network=network_name,
+        num_missing=num_missing,
+        num_samples=num_samples,
+        strategy=strategy,
+        score=aggregate(scores),
+        wall_time_sec=wall,
+        stats=totals,
+    )

@@ -1,0 +1,135 @@
+"""Test-set masking: turning complete tuples into incomplete ones.
+
+The experimental framework (Section VI-A) processes the test split by
+replacing one or several attribute values per tuple with ``"?"``; *which*
+attributes are replaced is chosen uniformly at random (MCAR — missing
+completely at random).
+
+The paper stresses that its *method* assumes no missingness model, only its
+*evaluation* does; :func:`mask_relation_mar` and :func:`mask_relation_mnar`
+provide the other two standard mechanisms so robustness to non-uniform
+missingness can be measured too:
+
+* **MAR** (missing at random) — whether a value is dropped depends on
+  *observed* values of other attributes;
+* **MNAR** (missing not at random) — whether a value is dropped depends on
+  the *value itself*.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..relational.relation import Relation
+from ..relational.tuples import MISSING_CODE, RelTuple
+
+__all__ = [
+    "mask_tuple",
+    "mask_relation",
+    "mask_relation_mar",
+    "mask_relation_mnar",
+]
+
+
+def mask_tuple(
+    t: RelTuple, num_missing: int, rng: np.random.Generator
+) -> RelTuple:
+    """Replace ``num_missing`` uniformly chosen attribute values with ``?``."""
+    k = len(t.schema)
+    if not 1 <= num_missing <= k:
+        raise ValueError(
+            f"num_missing must be between 1 and {k}, got {num_missing}"
+        )
+    positions = rng.choice(k, size=num_missing, replace=False)
+    codes = t.codes.copy()
+    codes[positions] = MISSING_CODE
+    return RelTuple(t.schema, codes)
+
+
+def mask_relation(
+    relation: Relation,
+    num_missing: int | Sequence[int],
+    rng: np.random.Generator,
+) -> Relation:
+    """Mask every tuple of a complete relation.
+
+    ``num_missing`` is either a fixed count or a sequence of counts to choose
+    from uniformly per tuple (the paper's "one or several attribute values
+    are replaced" setting).
+    """
+    counts: np.ndarray
+    if isinstance(num_missing, int):
+        counts = np.full(len(relation), num_missing)
+    else:
+        options = np.asarray(list(num_missing), dtype=int)
+        if options.size == 0:
+            raise ValueError("num_missing sequence must be non-empty")
+        counts = rng.choice(options, size=len(relation))
+    masked = [
+        mask_tuple(t, int(c), rng) for t, c in zip(relation, counts)
+    ]
+    return Relation(relation.schema, masked)
+
+
+def mask_relation_mar(
+    relation: Relation,
+    target: str,
+    trigger: str,
+    rng: np.random.Generator,
+    high_rate: float = 0.6,
+    low_rate: float = 0.05,
+) -> Relation:
+    """MAR masking: drop ``target`` at a rate depending on ``trigger``'s value.
+
+    Rows whose (always observed) ``trigger`` attribute holds its *first*
+    domain value lose ``target`` with probability ``high_rate``; other rows
+    with ``low_rate``.  The missingness depends only on observed data — the
+    MAR regime, under which likelihood-based inference remains unbiased.
+    """
+    if not (0.0 <= low_rate <= 1.0 and 0.0 <= high_rate <= 1.0):
+        raise ValueError("rates must be within [0, 1]")
+    schema = relation.schema
+    target_pos = schema.index(target)
+    trigger_pos = schema.index(trigger)
+    if target_pos == trigger_pos:
+        raise ValueError("target and trigger must be different attributes")
+    codes = relation.codes.copy()
+    triggered = codes[:, trigger_pos] == 0
+    rates = np.where(triggered, high_rate, low_rate)
+    drop = rng.random(len(relation)) < rates
+    codes[drop, target_pos] = MISSING_CODE
+    return Relation.from_codes(schema, codes)
+
+
+def mask_relation_mnar(
+    relation: Relation,
+    target: str,
+    rng: np.random.Generator,
+    rates: Sequence[float] | None = None,
+) -> Relation:
+    """MNAR masking: drop ``target`` at a rate depending on its own value.
+
+    ``rates[i]`` is the drop probability when the value's code is ``i``
+    (default: linearly increasing from 0.05 to 0.6 across the domain — e.g.
+    high incomes are the ones people decline to report).  The mechanism
+    depends on the *unobserved* value: the regime where naive learners
+    acquire bias.
+    """
+    schema = relation.schema
+    target_pos = schema.index(target)
+    card = schema[target_pos].cardinality
+    if rates is None:
+        rates_arr = np.linspace(0.05, 0.6, card)
+    else:
+        rates_arr = np.asarray(list(rates), dtype=float)
+        if rates_arr.shape != (card,):
+            raise ValueError(f"need one rate per domain value ({card})")
+        if ((rates_arr < 0) | (rates_arr > 1)).any():
+            raise ValueError("rates must be within [0, 1]")
+    codes = relation.codes.copy()
+    value_rates = rates_arr[codes[:, target_pos]]
+    drop = rng.random(len(relation)) < value_rates
+    codes[drop, target_pos] = MISSING_CODE
+    return Relation.from_codes(schema, codes)

@@ -1,0 +1,109 @@
+"""Accuracy metrics of Section VI-A: KL divergence and top-1 agreement.
+
+Predictions are scored against the *true* distributions of the generating
+Bayesian network.  KL divergence is directed ``KL(true || predicted)`` — how
+badly the prediction explains the truth; it is finite whenever the
+prediction is strictly positive, which MRSL CPDs guarantee by smoothing.
+Top-1 accuracy is the fraction of tuples where the predicted mode equals the
+true mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..bayesnet.elimination import joint_posterior, posterior
+from ..bayesnet.network import BayesianNetwork
+from ..probdb.distribution import Distribution
+from ..relational.schema import Schema
+from ..relational.tuples import MISSING_CODE, RelTuple
+
+__all__ = [
+    "AccuracyScore",
+    "score_prediction",
+    "aggregate",
+    "true_single_posterior",
+    "true_joint_posterior",
+]
+
+
+@dataclass
+class AccuracyScore:
+    """Mean KL divergence and top-1 accuracy over a batch of predictions."""
+
+    mean_kl: float
+    top1_accuracy: float
+    count: int
+
+    def __str__(self) -> str:
+        return (
+            f"KL={self.mean_kl:.4f}  top-1={self.top1_accuracy:.2%}  "
+            f"(n={self.count})"
+        )
+
+
+def score_prediction(true: Distribution, predicted: Distribution) -> tuple[float, bool]:
+    """``(KL(true || predicted), top-1 match)`` for one tuple."""
+    return true.kl_divergence(predicted), true.same_top1(predicted)
+
+
+def aggregate(scores: Sequence[tuple[float, bool]]) -> AccuracyScore:
+    """Average per-tuple scores into an :class:`AccuracyScore`."""
+    if not scores:
+        raise ValueError("cannot aggregate zero scores")
+    kls = [kl for kl, _ in scores]
+    hits = [hit for _, hit in scores]
+    return AccuracyScore(
+        mean_kl=sum(kls) / len(kls),
+        top1_accuracy=sum(hits) / len(hits),
+        count=len(scores),
+    )
+
+
+def _evidence_of(t: RelTuple) -> dict[str, int]:
+    """Observed attribute codes of ``t`` as an evidence mapping."""
+    schema = t.schema
+    return {
+        schema[pos].name: int(t.codes[pos]) for pos in t.complete_positions
+    }
+
+
+def true_single_posterior(
+    network: BayesianNetwork, t: RelTuple
+) -> Distribution:
+    """Exact ``P(missing attr | observed attrs)`` over domain *values*.
+
+    ``t`` must miss exactly one attribute; the network's variables must
+    coincide with the tuple's schema attributes (as produced by
+    ``BayesianNetwork.to_schema``).
+    """
+    missing = t.missing_positions
+    if len(missing) != 1:
+        raise ValueError("tuple must have exactly one missing attribute")
+    pos = missing[0]
+    schema = t.schema
+    dist = posterior(network, schema[pos].name, _evidence_of(t))
+    values = [schema[pos].value(int(code)) for code in dist.outcomes]
+    return Distribution(values, dist.probs)
+
+
+def true_joint_posterior(
+    network: BayesianNetwork, t: RelTuple
+) -> Distribution:
+    """Exact joint posterior over the missing attributes, as value tuples.
+
+    Outcome format matches :class:`~repro.probdb.blocks.TupleBlock`: tuples
+    of domain values ordered by the tuple's missing positions.
+    """
+    missing = t.missing_positions
+    if not missing:
+        raise ValueError("tuple has no missing attributes")
+    schema = t.schema
+    names = [schema[pos].name for pos in missing]
+    dist = joint_posterior(network, names, _evidence_of(t))
+    value_outcomes = [
+        tuple(schema[pos].value(int(code)) for pos, code in zip(missing, combo))
+        for combo in dist.outcomes
+    ]
+    return Distribution(value_outcomes, dist.probs)

@@ -1,0 +1,56 @@
+"""Plain-text tables for benchmark output.
+
+Every benchmark prints the same rows/series the paper reports; these helpers
+keep that output aligned and consistent across the harness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "print_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> None:
+    """Print :func:`format_table` output (benchmarks' reporting path)."""
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    points: Iterable[tuple[object, object]],
+    title: str = "",
+) -> str:
+    """Render an (x, y) series as a two-column table — one paper figure line."""
+    return format_table([x_label, y_label], points, title=title)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)

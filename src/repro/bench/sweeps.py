@@ -1,0 +1,120 @@
+"""Parameter sweeps with persisted results.
+
+The paper's evaluation is a grid of (network x training size x support x
+method) runs; this module provides the generic machinery the benchmark
+harness and downstream experimenters share: declare a grid, run a function
+at every point, and persist all outcomes as JSON for later tabulation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from itertools import product
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+__all__ = ["SweepResult", "Sweep"]
+
+
+@dataclass
+class SweepResult:
+    """One grid point's outcome: parameters, value, wall-clock seconds."""
+
+    params: dict[str, Any]
+    value: Any
+    elapsed_sec: float
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {
+            "params": self.params,
+            "value": self.value,
+            "elapsed_sec": self.elapsed_sec,
+        }
+
+
+@dataclass
+class Sweep:
+    """A named cartesian parameter grid.
+
+    Example::
+
+        sweep = Sweep("fig4b", grid={
+            "support": [0.001, 0.01, 0.1],
+            "network": ["BN8", "BN9"],
+        })
+        results = sweep.run(lambda support, network: measure(...))
+        sweep.save(results, "results/fig4b.json")
+    """
+
+    name: str
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+
+    def points(self) -> Iterator[dict[str, Any]]:
+        """Every parameter combination, in deterministic grid order."""
+        if not self.grid:
+            yield {}
+            return
+        keys = list(self.grid)
+        for combo in product(*(self.grid[k] for k in keys)):
+            yield dict(zip(keys, combo))
+
+    def __len__(self) -> int:
+        n = 1
+        for values in self.grid.values():
+            n *= len(values)
+        return n
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        on_point: Callable[[dict[str, Any], Any], None] | None = None,
+    ) -> list[SweepResult]:
+        """Call ``fn(**params)`` at every grid point.
+
+        ``on_point`` is an optional progress callback receiving the params
+        and the returned value (e.g. for live logging).
+        """
+        results = []
+        for params in self.points():
+            start = time.perf_counter()
+            value = fn(**params)
+            elapsed = time.perf_counter() - start
+            results.append(SweepResult(dict(params), value, elapsed))
+            if on_point is not None:
+                on_point(params, value)
+        return results
+
+    def save(self, results: Sequence[SweepResult], path: str | Path) -> None:
+        """Persist results (values must be JSON-serializable)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "sweep": self.name,
+            "grid": {k: list(v) for k, v in self.grid.items()},
+            "results": [r.to_jsonable() for r in results],
+        }
+        path.write_text(json.dumps(doc, indent=2))
+
+    @staticmethod
+    def load(path: str | Path) -> tuple["Sweep", list[SweepResult]]:
+        """Load a sweep and its results from :meth:`save` output."""
+        doc = json.loads(Path(path).read_text())
+        sweep = Sweep(doc["sweep"], grid=doc["grid"])
+        results = [
+            SweepResult(r["params"], r["value"], r["elapsed_sec"])
+            for r in doc["results"]
+        ]
+        return sweep, results
+
+    @staticmethod
+    def tabulate(
+        results: Sequence[SweepResult],
+        x: str,
+        value_key: Callable[[Any], Any] = lambda v: v,
+    ) -> list[tuple[Any, Any]]:
+        """Extract an ``(x, value)`` series from the results."""
+        return [
+            (r.params[x], value_key(r.value)) for r in results
+        ]

@@ -1,0 +1,92 @@
+"""The paper's core contribution: MRSL learning and ensemble inference.
+
+Modules map one-to-one onto the paper's sections:
+
+* :mod:`.itemsets` — Apriori mining (Section III);
+* :mod:`.rules`, :mod:`.metarule` — Defs 2.5-2.6;
+* :mod:`.mrsl` — Defs 2.7-2.9;
+* :mod:`.learning` — Algorithm 1;
+* :mod:`.inference` — Algorithm 2 (single missing attribute);
+* :mod:`.gibbs` — ordered Gibbs sampling (Section V-A);
+* :mod:`.tuple_dag` — Algorithm 3 (workload-driven sampling);
+* :mod:`.derive` — the end-to-end pipeline.
+"""
+
+from .derive import DeriveResult, derive_probabilistic_database
+from .diagnostics import ChainPlan, gelman_rubin, psrf, suggest_chain_lengths
+from .gibbs import GibbsChain, GibbsSampler, estimate_joint, samples_to_distribution
+from .lazy import LazyDeriver
+from .inference import (
+    VoteExplanation,
+    VoterChoice,
+    VotingScheme,
+    explain_single,
+    infer_all_single_missing,
+    infer_single,
+    infer_single_codes,
+    select_voters,
+)
+from .itemsets import (
+    DEFAULT_MAX_ITEMSETS,
+    EMPTY_ITEMSET,
+    FrequentItemsets,
+    Item,
+    Itemset,
+    is_subset,
+    itemset_attributes,
+    make_itemset,
+    mine_frequent_itemsets,
+)
+from .learning import LearnResult, learn_mrsl
+from .metarule import MetaRule, build_meta_rules, smooth_cpd
+from .mrsl import MRSL, MRSLModel
+from .persistence import load_model, model_from_dict, model_to_dict, save_model
+from .rules import AssociationRule, compute_association_rules
+from .tuple_dag import SamplingStats, TupleDAG, workload_sampling
+
+__all__ = [
+    "Item",
+    "Itemset",
+    "EMPTY_ITEMSET",
+    "make_itemset",
+    "itemset_attributes",
+    "is_subset",
+    "FrequentItemsets",
+    "mine_frequent_itemsets",
+    "DEFAULT_MAX_ITEMSETS",
+    "AssociationRule",
+    "compute_association_rules",
+    "MetaRule",
+    "build_meta_rules",
+    "smooth_cpd",
+    "MRSL",
+    "MRSLModel",
+    "LearnResult",
+    "learn_mrsl",
+    "VoterChoice",
+    "VotingScheme",
+    "infer_single",
+    "infer_single_codes",
+    "infer_all_single_missing",
+    "select_voters",
+    "VoteExplanation",
+    "explain_single",
+    "GibbsSampler",
+    "GibbsChain",
+    "estimate_joint",
+    "samples_to_distribution",
+    "TupleDAG",
+    "SamplingStats",
+    "workload_sampling",
+    "DeriveResult",
+    "derive_probabilistic_database",
+    "LazyDeriver",
+    "save_model",
+    "load_model",
+    "model_to_dict",
+    "model_from_dict",
+    "psrf",
+    "gelman_rubin",
+    "ChainPlan",
+    "suggest_chain_lengths",
+]

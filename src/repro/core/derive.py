@@ -1,0 +1,127 @@
+"""The headline API: derive a probabilistic database from an incomplete relation.
+
+This module ties the whole pipeline together, as in the paper's abstract:
+learn the MRSL ensemble from the complete part of the data, estimate ``Δt``
+for every incomplete tuple — Algorithm 2 when a single attribute is missing,
+workload-driven Gibbs sampling (Algorithm 3) when several are — and assemble
+the result into a disjoint-independent probabilistic database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..probdb.blocks import TupleBlock
+from ..probdb.database import ProbabilisticDatabase
+from ..probdb.distribution import Distribution
+from ..relational.relation import Relation
+from .inference import VoterChoice, VotingScheme, infer_single
+from .itemsets import DEFAULT_MAX_ITEMSETS
+from .learning import LearnResult, learn_mrsl
+from .mrsl import MRSLModel
+from .tuple_dag import SamplingStats, workload_sampling
+
+__all__ = ["DeriveResult", "derive_probabilistic_database"]
+
+
+@dataclass
+class DeriveResult:
+    """A derived probabilistic database plus the model and cost diagnostics."""
+
+    database: ProbabilisticDatabase
+    model: MRSLModel
+    learn_result: LearnResult
+    sampling_stats: SamplingStats
+
+
+def _single_missing_block(
+    t, model: MRSLModel, v_choice: VoterChoice, v_scheme: VotingScheme
+) -> TupleBlock:
+    """Wrap an Algorithm 2 CPD as a one-attribute block."""
+    attr = t.missing_positions[0]
+    cpd = infer_single(t, model[attr], v_choice, v_scheme)
+    # Block outcomes are 1-tuples of values, per TupleBlock's convention.
+    outcomes = [(value,) for value in cpd.outcomes]
+    return TupleBlock(t, Distribution(outcomes, cpd.probs))
+
+
+def derive_probabilistic_database(
+    relation: Relation,
+    support_threshold: float = 0.01,
+    max_itemsets: int = DEFAULT_MAX_ITEMSETS,
+    v_choice: VoterChoice | str = VoterChoice.BEST,
+    v_scheme: VotingScheme | str = VotingScheme.AVERAGED,
+    num_samples: int = 2000,
+    burn_in: int = 100,
+    strategy: str = "tuple_dag",
+    rng: np.random.Generator | int | None = None,
+) -> DeriveResult:
+    """Derive the disjoint-independent probabilistic model for ``relation``.
+
+    Parameters
+    ----------
+    relation:
+        A relation mixing complete and incomplete tuples.  The complete part
+        trains the MRSL; every incomplete tuple becomes a block.
+    support_threshold, max_itemsets:
+        Algorithm 1 mining parameters (``theta``, ``maxItemsets``).
+    v_choice, v_scheme:
+        Algorithm 2 voting configuration, also used inside Gibbs steps.
+    num_samples, burn_in:
+        Gibbs chain lengths (``N`` and ``B`` of Algorithm 3) for tuples with
+        two or more missing values.
+    strategy:
+        Multi-attribute workload strategy; see
+        :func:`~repro.core.tuple_dag.workload_sampling`.
+    rng:
+        Seed or generator for the samplers (reproducibility).
+
+    Returns a :class:`DeriveResult`; its ``database`` holds the complete
+    tuples as certain rows and one block per incomplete tuple.
+    """
+    learn_result = learn_mrsl(
+        relation, support_threshold=support_threshold, max_itemsets=max_itemsets
+    )
+    model = learn_result.model
+    v_choice = VoterChoice(v_choice)
+    v_scheme = VotingScheme(v_scheme)
+
+    single = []
+    multi = []
+    for t in relation.incomplete_part():
+        if t.num_missing == 1:
+            single.append(t)
+        else:
+            multi.append(t)
+
+    blocks: list[TupleBlock] = []
+    for t in single:
+        blocks.append(_single_missing_block(t, model, v_choice, v_scheme))
+
+    stats = SamplingStats()
+    if multi:
+        multi_blocks, stats = workload_sampling(
+            model,
+            multi,
+            num_samples=num_samples,
+            burn_in=burn_in,
+            strategy=strategy,
+            v_choice=v_choice,
+            v_scheme=v_scheme,
+            rng=rng,
+        )
+        blocks.extend(multi_blocks)
+
+    database = ProbabilisticDatabase(
+        relation.schema,
+        certain=list(relation.complete_part()),
+        blocks=blocks,
+    )
+    return DeriveResult(
+        database=database,
+        model=model,
+        learn_result=learn_result,
+        sampling_stats=stats,
+    )

@@ -1,0 +1,124 @@
+"""Gibbs-chain convergence diagnostics.
+
+Section V-A notes that the burn-in length ``B`` and sample count ``N`` "may
+be estimated using standard techniques".  This module supplies two such
+techniques so the choice is data-driven rather than hard-coded:
+
+* the Gelman-Rubin potential scale reduction factor (PSRF) over several
+  independent chains, adapted to discrete states via indicator statistics;
+* an automatic ``suggest_chain_lengths`` that grows ``B`` and ``N`` until
+  the PSRF falls below a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..relational.tuples import RelTuple
+from .gibbs import GibbsSampler
+from .mrsl import MRSLModel
+
+__all__ = ["psrf", "gelman_rubin", "ChainPlan", "suggest_chain_lengths"]
+
+
+def psrf(chain_stats: np.ndarray) -> float:
+    """Potential scale reduction factor for an ``(m, n)`` statistic matrix.
+
+    ``chain_stats[j, t]`` is a scalar statistic of chain ``j`` at step
+    ``t``.  Values near 1 indicate the chains have mixed; > ~1.1 means more
+    burn-in is needed.
+    """
+    stats = np.asarray(chain_stats, dtype=np.float64)
+    if stats.ndim != 2 or stats.shape[0] < 2 or stats.shape[1] < 2:
+        raise ValueError("need at least 2 chains and 2 steps")
+    m, n = stats.shape
+    chain_means = stats.mean(axis=1)
+    grand_mean = chain_means.mean()
+    between = n / (m - 1) * ((chain_means - grand_mean) ** 2).sum()
+    within = stats.var(axis=1, ddof=1).mean()
+    if within <= 0:
+        # All chains constant: either perfectly mixed on a point mass
+        # (between == 0) or stuck apart (between > 0).
+        return 1.0 if between <= 1e-12 else float("inf")
+    var_plus = (n - 1) / n * within + between / n
+    return float(np.sqrt(var_plus / within))
+
+
+def gelman_rubin(
+    model: MRSLModel,
+    base: RelTuple,
+    num_chains: int = 4,
+    num_steps: int = 200,
+    burn_in: int = 0,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """PSRF of independent Gibbs chains for one incomplete tuple.
+
+    The per-step scalar statistic is the indicator of the first missing
+    attribute's first value — a simple, standard reduction for discrete
+    chains (any fixed measurable statistic works for detecting non-mixing).
+    The maximum PSRF over all missing attributes is returned, which is the
+    conservative (multivariate) choice.
+    """
+    if num_chains < 2:
+        raise ValueError("need at least two chains")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    missing = base.missing_positions
+    stats = np.empty((len(missing), num_chains, num_steps))
+    for j in range(num_chains):
+        sampler = GibbsSampler(model, rng=rng.integers(2**63))
+        chain = sampler.chain(base)
+        chain.run_burn_in(burn_in)
+        for t in range(num_steps):
+            sample = chain.step()
+            for a, value in enumerate(sample):
+                stats[a, j, t] = 1.0 if value == 0 else 0.0
+    return max(psrf(stats[a]) for a in range(len(missing)))
+
+
+@dataclass
+class ChainPlan:
+    """A suggested Gibbs configuration with its final diagnostic."""
+
+    burn_in: int
+    num_samples: int
+    psrf: float
+    converged: bool
+
+
+def suggest_chain_lengths(
+    model: MRSLModel,
+    base: RelTuple,
+    target_psrf: float = 1.1,
+    num_chains: int = 4,
+    initial_burn_in: int = 50,
+    initial_samples: int = 200,
+    max_samples: int = 5000,
+    rng: np.random.Generator | int | None = None,
+) -> ChainPlan:
+    """Grow ``B``/``N`` geometrically until the PSRF meets ``target_psrf``.
+
+    Returns the first configuration whose diagnostic passes, or the largest
+    attempted one flagged ``converged=False``.
+    """
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    burn_in, num_samples = initial_burn_in, initial_samples
+    while True:
+        value = gelman_rubin(
+            model,
+            base,
+            num_chains=num_chains,
+            num_steps=num_samples,
+            burn_in=burn_in,
+            rng=rng,
+        )
+        if value <= target_psrf:
+            return ChainPlan(burn_in, num_samples, value, converged=True)
+        if num_samples >= max_samples:
+            return ChainPlan(burn_in, num_samples, value, converged=False)
+        burn_in *= 2
+        num_samples = min(num_samples * 2, max_samples)

@@ -1,0 +1,199 @@
+"""Ordered Gibbs sampling over MRSL models (Section V-A).
+
+When a tuple misses several attribute values, their joint distribution is
+estimated by ordered Gibbs sampling [17]: start from a random assignment of
+the missing attributes, then repeatedly cycle through them, resampling each
+from the CPD estimated by Algorithm 2 with *all other* attributes (observed
+values plus the chain's current state) given as evidence.  Observed
+attributes stay clamped throughout — this is the paper's tuple-at-a-time
+restriction of the sample space.
+
+A shared CPD cache keyed by the full conditioning assignment implements the
+"caching the results of partial computations for re-use" optimization of
+Section I-B; it is reused across chain steps, tuples, and the tuple-DAG
+workload driver.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from ..probdb.blocks import TupleBlock
+from ..probdb.distribution import DEFAULT_SMOOTHING_FLOOR, Distribution
+from ..relational.tuples import MISSING_CODE, RelTuple
+from .inference import VoterChoice, VotingScheme, _combine, select_voters
+from .mrsl import MRSLModel
+
+__all__ = ["GibbsSampler", "estimate_joint", "samples_to_distribution"]
+
+#: Outcome spaces larger than this are reported over observed outcomes only
+#: (no exhaustive smoothing over the full Cartesian product).
+MAX_DENSE_OUTCOMES = 100_000
+
+
+class GibbsSampler:
+    """A reusable ordered Gibbs sampler over one MRSL model.
+
+    One sampler instance holds the voter configuration and the conditional
+    CPD cache; per-tuple chains are created by :meth:`chain`.
+    """
+
+    def __init__(
+        self,
+        model: MRSLModel,
+        v_choice: VoterChoice | str = VoterChoice.BEST,
+        v_scheme: VotingScheme | str = VotingScheme.AVERAGED,
+        rng: np.random.Generator | int | None = None,
+    ):
+        self.model = model
+        self.schema = model.schema
+        self.v_choice = VoterChoice(v_choice)
+        self.v_scheme = VotingScheme(v_scheme)
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        self.rng = rng
+        self._cpd_cache: dict[tuple[int, bytes], np.ndarray] = {}
+        #: total conditional-CPD evaluations (cache misses), for diagnostics
+        self.cpd_evaluations = 0
+        #: total single-attribute resampling steps taken
+        self.steps = 0
+
+    # -- conditional CPDs -------------------------------------------------------
+
+    def conditional_probs(self, codes: np.ndarray, attr: int) -> np.ndarray:
+        """CPD vector for ``attr`` with every other attribute of ``codes`` known.
+
+        ``codes`` is a full code vector whose position ``attr`` is ignored
+        (treated as missing).  Results are memoized on the conditioning
+        assignment.
+        """
+        masked = codes.copy()
+        masked[attr] = MISSING_CODE
+        key = (attr, masked.tobytes())
+        cached = self._cpd_cache.get(key)
+        if cached is not None:
+            return cached
+        t = RelTuple(self.schema, masked)
+        voters = select_voters(self.model[attr], t, self.v_choice)
+        probs = _combine(voters, self.schema[attr].cardinality, self.v_scheme)
+        # Strict positivity is required for Gibbs irreducibility; meta-rule
+        # CPDs are positive by construction but the uniform fallback is too,
+        # so this is a cheap invariant check rather than a transform.
+        self._cpd_cache[key] = probs
+        self.cpd_evaluations += 1
+        return probs
+
+    # -- chains ----------------------------------------------------------------
+
+    def chain(self, base: RelTuple) -> "GibbsChain":
+        """Create a chain clamped to ``base``'s observed values."""
+        return GibbsChain(self, base)
+
+    # -- one-shot estimation ------------------------------------------------------
+
+    def estimate(
+        self, base: RelTuple, num_samples: int, burn_in: int
+    ) -> TupleBlock:
+        """Tuple-at-a-time estimation of ``Δ(base)``.
+
+        Runs one chain: ``burn_in`` discarded sweeps, then ``num_samples``
+        recorded sweeps; the empirical joint over the missing attributes is
+        smoothed and wrapped in a :class:`TupleBlock`.
+        """
+        chain = self.chain(base)
+        chain.run_burn_in(burn_in)
+        samples = [chain.step() for _ in range(num_samples)]
+        dist = samples_to_distribution(self.schema, base, samples)
+        return TupleBlock(base, dist)
+
+
+class GibbsChain:
+    """One Markov chain for one incomplete tuple."""
+
+    def __init__(self, sampler: GibbsSampler, base: RelTuple):
+        if base.is_complete:
+            raise ValueError("Gibbs sampling requires an incomplete tuple")
+        self.sampler = sampler
+        self.base = base
+        self.missing = base.missing_positions
+        self.state = base.codes.copy()
+        schema = sampler.schema
+        # "Start with a valid random assignment of attribute values."
+        for attr in self.missing:
+            self.state[attr] = sampler.rng.integers(schema[attr].cardinality)
+
+    def sweep(self) -> None:
+        """One ordered cycle: resample every missing attribute in turn."""
+        sampler = self.sampler
+        for attr in self.missing:
+            probs = sampler.conditional_probs(self.state, attr)
+            self.state[attr] = sampler.rng.choice(probs.size, p=probs)
+            sampler.steps += 1
+
+    def step(self) -> tuple[int, ...]:
+        """One sweep, returning the missing-attribute codes as a sample."""
+        self.sweep()
+        return tuple(int(self.state[attr]) for attr in self.missing)
+
+    def run_burn_in(self, burn_in: int) -> None:
+        """Discard ``burn_in`` sweeps (``DoSampleDiscard`` in Algorithm 3)."""
+        for _ in range(burn_in):
+            self.sweep()
+
+
+def samples_to_distribution(
+    schema,
+    base: RelTuple,
+    samples: Sequence[tuple[int, ...]],
+    floor: float = DEFAULT_SMOOTHING_FLOOR,
+) -> Distribution:
+    """Empirical joint over ``base``'s missing values from chain samples.
+
+    Outcomes are tuples of *values* (not codes) in missing-position order —
+    the format :class:`~repro.probdb.blocks.TupleBlock` expects.  When the
+    full outcome space is small enough the distribution covers it entirely
+    (zero-count combinations get the smoothing floor), so KL against an
+    exact posterior is always finite; otherwise only observed outcomes are
+    reported.
+    """
+    if not samples:
+        raise ValueError("need at least one sample")
+    missing = base.missing_positions
+    domains = [schema[attr].domain for attr in missing]
+    space = 1
+    for d in domains:
+        space *= len(d)
+    counts: dict[tuple[int, ...], int] = {}
+    for sample in samples:
+        counts[sample] = counts.get(sample, 0) + 1
+    if space <= MAX_DENSE_OUTCOMES:
+        outcomes: list[Hashable] = []
+        probs = []
+        n = len(samples)
+        for combo in product(*(range(len(d)) for d in domains)):
+            outcomes.append(tuple(d[c] for d, c in zip(domains, combo)))
+            probs.append(counts.get(combo, 0) / n)
+        return Distribution(outcomes, np.maximum(probs, floor))
+    n = len(samples)
+    outcomes = [
+        tuple(d[c] for d, c in zip(domains, combo)) for combo in counts
+    ]
+    probs = [c / n for c in counts.values()]
+    return Distribution(outcomes, probs)
+
+
+def estimate_joint(
+    model: MRSLModel,
+    base: RelTuple,
+    num_samples: int = 2000,
+    burn_in: int = 100,
+    v_choice: VoterChoice | str = VoterChoice.BEST,
+    v_scheme: VotingScheme | str = VotingScheme.AVERAGED,
+    rng: np.random.Generator | int | None = None,
+) -> TupleBlock:
+    """Convenience wrapper: one tuple, one chain, one block."""
+    sampler = GibbsSampler(model, v_choice=v_choice, v_scheme=v_scheme, rng=rng)
+    return sampler.estimate(base, num_samples=num_samples, burn_in=burn_in)

@@ -1,0 +1,215 @@
+"""Frequent itemsets of attribute-value pairs (Section III, Apriori [1]).
+
+An *item* is an ``(attribute_position, value_code)`` pair; an *itemset* is a
+canonical (sorted, attribute-unique) tuple of items and corresponds to the
+complete portion of an incomplete tuple.  Mining is bottom-up Apriori with
+two termination conditions, exactly as in the paper: stop when a round finds
+no frequent itemsets, or when a round finds more than ``max_itemsets`` of
+them (the paper sets 1000 to control model-building time).
+
+Support counting is vectorized over the complete relation's code matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..relational.relation import Relation
+
+__all__ = [
+    "Item",
+    "Itemset",
+    "EMPTY_ITEMSET",
+    "make_itemset",
+    "itemset_attributes",
+    "is_subset",
+    "FrequentItemsets",
+    "mine_frequent_itemsets",
+    "DEFAULT_MAX_ITEMSETS",
+]
+
+#: One attribute-value assignment: ``(attribute_position, value_code)``.
+Item = tuple[int, int]
+
+#: Canonical itemset: items sorted by attribute position, one per attribute.
+Itemset = tuple[Item, ...]
+
+#: The empty itemset (support 1): body of every top-level meta-rule.
+EMPTY_ITEMSET: Itemset = ()
+
+#: Per-round cap on newly found frequent itemsets (Section III).
+DEFAULT_MAX_ITEMSETS = 1000
+
+
+def make_itemset(items: Iterable[Item]) -> Itemset:
+    """Canonicalize ``items`` (sort by attribute, reject duplicates)."""
+    itemset = tuple(sorted(items))
+    attrs = [attr for attr, _ in itemset]
+    if len(set(attrs)) != len(attrs):
+        raise ValueError(f"itemset assigns an attribute twice: {itemset}")
+    return itemset
+
+
+def itemset_attributes(itemset: Itemset) -> tuple[int, ...]:
+    """Attribute positions assigned by ``itemset``."""
+    return tuple(attr for attr, _ in itemset)
+
+
+def is_subset(smaller: Itemset, larger: Itemset) -> bool:
+    """True when every item of ``smaller`` appears in ``larger``."""
+    larger_set = set(larger)
+    return all(item in larger_set for item in smaller)
+
+
+class FrequentItemsets:
+    """The result of mining: itemset -> support, plus round metadata."""
+
+    def __init__(
+        self,
+        supports: Mapping[Itemset, float],
+        num_points: int,
+        threshold: float,
+        truncated: bool,
+    ):
+        self._supports = dict(supports)
+        self.num_points = num_points
+        self.threshold = threshold
+        #: True when a round exceeded ``max_itemsets`` and mining stopped early.
+        self.truncated = truncated
+
+    def __len__(self) -> int:
+        return len(self._supports)
+
+    def __contains__(self, itemset: Itemset) -> bool:
+        return itemset in self._supports
+
+    def __iter__(self):
+        return iter(self._supports)
+
+    def support(self, itemset: Itemset) -> float:
+        """Support of ``itemset`` (0.0 when not frequent/mined)."""
+        return self._supports.get(itemset, 0.0)
+
+    def items(self):
+        return self._supports.items()
+
+    def of_size(self, k: int) -> list[Itemset]:
+        """All frequent itemsets with exactly ``k`` items."""
+        return [s for s in self._supports if len(s) == k]
+
+    def max_size(self) -> int:
+        """Size of the largest frequent itemset found."""
+        return max((len(s) for s in self._supports), default=0)
+
+    def __repr__(self) -> str:
+        return (
+            f"FrequentItemsets({len(self)} itemsets, "
+            f"theta={self.threshold}, truncated={self.truncated})"
+        )
+
+
+def _support_counts(
+    codes: np.ndarray, candidates: list[Itemset]
+) -> np.ndarray:
+    """Count matching rows for each candidate itemset."""
+    counts = np.empty(len(candidates), dtype=np.int64)
+    for i, itemset in enumerate(candidates):
+        mask = np.ones(codes.shape[0], dtype=bool)
+        for attr, value in itemset:
+            mask &= codes[:, attr] == value
+        counts[i] = int(mask.sum())
+    return counts
+
+
+def _join_candidates(frequent_k: list[Itemset]) -> list[Itemset]:
+    """Apriori candidate generation: join itemsets sharing a (k-1)-prefix.
+
+    Candidates assigning the same attribute twice are discarded, as are
+    candidates with an infrequent k-subset (downward-closure pruning).
+    """
+    frequent_set = set(frequent_k)
+    by_prefix: dict[Itemset, list[Item]] = {}
+    for itemset in frequent_k:
+        by_prefix.setdefault(itemset[:-1], []).append(itemset[-1])
+    candidates = []
+    for prefix, tails in by_prefix.items():
+        tails.sort()
+        for i in range(len(tails)):
+            for j in range(i + 1, len(tails)):
+                a, b = tails[i], tails[j]
+                if a[0] == b[0]:
+                    continue  # same attribute, two values: contradiction
+                candidate = prefix + (a, b)
+                # All k-subsets must be frequent.
+                if all(
+                    candidate[:m] + candidate[m + 1 :] in frequent_set
+                    for m in range(len(candidate))
+                ):
+                    candidates.append(candidate)
+    return candidates
+
+
+def mine_frequent_itemsets(
+    complete: Relation,
+    threshold: float,
+    max_itemsets: int = DEFAULT_MAX_ITEMSETS,
+    use_incomplete: bool = False,
+) -> FrequentItemsets:
+    """Apriori over the complete relation ``Rc``.
+
+    Parameters mirror Algorithm 1: ``threshold`` is the support threshold
+    ``theta``; ``max_itemsets`` caps the number of frequent itemsets found in
+    one round, after which mining stops (the round's own itemsets are kept).
+
+    With ``use_incomplete=True`` the complete portions of incomplete tuples
+    also contribute evidence, as Section III notes is possible "in
+    practice".  Semantics are conservative: a row supports an itemset only
+    if it *matches* every item (a missing value never matches), and the
+    denominator is the full row count — this keeps support anti-monotone
+    under itemset growth, so Apriori pruning stays sound.
+
+    The empty itemset is always included with support 1.0 — it is the body of
+    every top-level meta-rule ``P(a)``.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("support threshold must be in (0, 1]")
+    if max_itemsets < 1:
+        raise ValueError("max_itemsets must be positive")
+    codes = complete.codes
+    if not use_incomplete and complete.num_complete != len(complete):
+        # Mining is defined over points only (Section III); slice them out.
+        codes = codes[complete.complete_mask()]
+    n = codes.shape[0]
+    supports: dict[Itemset, float] = {EMPTY_ITEMSET: 1.0}
+    if n == 0:
+        return FrequentItemsets(supports, 0, threshold, truncated=False)
+
+    # Round 1: all single attribute-value items.
+    candidates: list[Itemset] = []
+    schema = complete.schema
+    for attr, attribute in enumerate(schema):
+        for value in range(attribute.cardinality):
+            candidates.append(((attr, value),))
+
+    truncated = False
+    frequent_k: list[Itemset] = []
+    while candidates:
+        counts = _support_counts(codes, candidates)
+        min_count = threshold * n
+        frequent_k = [
+            itemset
+            for itemset, count in zip(candidates, counts)
+            if count >= min_count
+        ]
+        for itemset, count in zip(candidates, counts):
+            if count >= min_count:
+                supports[itemset] = count / n
+        if not frequent_k:
+            break
+        if len(frequent_k) > max_itemsets:
+            truncated = True
+            break
+        candidates = _join_candidates(sorted(frequent_k))
+    return FrequentItemsets(supports, n, threshold, truncated=truncated)

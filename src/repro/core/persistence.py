@@ -1,0 +1,89 @@
+"""MRSL model persistence: learn once, serve many sessions.
+
+The paper frames MRSL learning as an off-line process ("learning the MRSL
+from the data as part of an off-line process is feasible", Section VI-B);
+production use therefore needs to store the learned model.  The format is
+plain JSON — schema, then per-attribute meta-rules as
+``(body, weight, probs)`` triples — versioned for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..relational.schema import Attribute, Schema
+from .metarule import MetaRule
+from .mrsl import MRSL, MRSLModel
+
+__all__ = ["save_model", "load_model", "model_to_dict", "model_from_dict"]
+
+FORMAT_VERSION = 1
+
+
+def model_to_dict(model: MRSLModel) -> dict[str, Any]:
+    """Serialize a model (schema + meta-rules) to plain JSON-able data."""
+    return {
+        "format": "repro-mrsl",
+        "version": FORMAT_VERSION,
+        "schema": [
+            {"name": attr.name, "domain": list(attr.domain)}
+            for attr in model.schema
+        ],
+        "lattices": [
+            {
+                "head": lattice.head_attribute,
+                "meta_rules": [
+                    {
+                        "body": [list(item) for item in m.body],
+                        "weight": m.weight,
+                        "probs": [float(p) for p in m.probs],
+                    }
+                    for m in lattice
+                ],
+            }
+            for lattice in model
+        ],
+    }
+
+
+def model_from_dict(data: dict[str, Any]) -> MRSLModel:
+    """Rebuild a model from :func:`model_to_dict` output."""
+    if data.get("format") != "repro-mrsl":
+        raise ValueError("not a repro MRSL model document")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format version {data.get('version')!r}"
+        )
+    schema = Schema(
+        Attribute(entry["name"], entry["domain"]) for entry in data["schema"]
+    )
+    lattices = []
+    for lat in data["lattices"]:
+        head = int(lat["head"])
+        meta_rules = [
+            MetaRule(
+                head_attribute=head,
+                body=tuple((int(a), int(v)) for a, v in m["body"]),
+                weight=float(m["weight"]),
+                probs=np.asarray(m["probs"], dtype=np.float64),
+            )
+            for m in lat["meta_rules"]
+        ]
+        lattices.append(MRSL(head, meta_rules))
+    return MRSLModel(schema, lattices)
+
+
+def save_model(model: MRSLModel, path: str | Path) -> None:
+    """Write the model as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(model_to_dict(model)))
+
+
+def load_model(path: str | Path) -> MRSLModel:
+    """Read a model previously written by :func:`save_model`."""
+    path = Path(path)
+    return model_from_dict(json.loads(path.read_text()))

@@ -1,0 +1,90 @@
+"""Association rules with single-attribute heads (Def. 2.5).
+
+A rule is derived from a frequent itemset ``I`` by singling out one item as
+the head: ``body = I \\ {(a, v)}``, ``head = (a, v)``.  Confidence is
+``supp(I) / supp(body)`` — an estimate of ``P(a = v | body)``.  Per
+Section III, rules are computed *irrespective of confidence*; there is no
+confidence threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .itemsets import FrequentItemsets, Item, Itemset
+
+__all__ = ["AssociationRule", "compute_association_rules"]
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """One mined rule ``body => head`` with its support statistics.
+
+    ``support`` is the support of ``body U {head}`` (the rule's full
+    itemset); ``body_support`` is the support of the body alone.
+    """
+
+    body: Itemset
+    head: Item
+    support: float
+    body_support: float
+
+    def __post_init__(self) -> None:
+        head_attr = self.head[0]
+        if any(attr == head_attr for attr, _ in self.body):
+            raise ValueError("rule body assigns the head attribute")
+        if self.body_support <= 0:
+            raise ValueError("rule body must have positive support")
+        if self.support < 0 or self.support > self.body_support + 1e-12:
+            raise ValueError(
+                "rule support must lie in [0, body_support] "
+                f"(got {self.support} vs {self.body_support})"
+            )
+
+    @property
+    def head_attribute(self) -> int:
+        """Attribute position assigned by the head."""
+        return self.head[0]
+
+    @property
+    def head_value(self) -> int:
+        """Value code assigned by the head."""
+        return self.head[1]
+
+    @property
+    def confidence(self) -> float:
+        """``conf(r) = supp(body U head) / supp(body)`` (Def. 2.5)."""
+        return self.support / self.body_support
+
+
+def compute_association_rules(
+    itemsets: FrequentItemsets, head_attribute: int
+) -> list[AssociationRule]:
+    """``ComputeAssocRules``: all rules with ``head_attribute`` in the head.
+
+    Every frequent itemset containing an item on ``head_attribute`` yields
+    exactly one rule (the remaining items form the body).  Apriori's downward
+    closure guarantees the body is itself frequent, so its support is always
+    available.
+    """
+    rules = []
+    for itemset in itemsets:
+        head = None
+        body_items = []
+        for item in itemset:
+            if item[0] == head_attribute:
+                head = item
+            else:
+                body_items.append(item)
+        if head is None:
+            continue
+        body: Itemset = tuple(body_items)
+        rules.append(
+            AssociationRule(
+                body=body,
+                head=head,
+                support=itemsets.support(itemset),
+                body_support=itemsets.support(body),
+            )
+        )
+    return rules

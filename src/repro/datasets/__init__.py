@@ -1,0 +1,25 @@
+"""Synthetic stand-ins for the real-world datasets of the paper's future work.
+
+Section VIII plans evaluation "on real-world datasets"; none ship with the
+paper, and this environment is offline, so this package provides
+deterministic generators of realistic categorical data with *known* ground
+truth (see DESIGN.md "Substitutions"):
+
+* :func:`load_census` — census-microdata-style profiles whose dependency
+  structure (age -> education -> income -> wealth, sector -> income) is an
+  explicit Bayesian network, so exact posteriors are available for scoring;
+* :func:`load_cars` — a UCI-car-evaluation-style rule-based dataset where an
+  acceptability class is a deterministic function of the features plus
+  label noise, exercising the near-functional-dependency regime.
+"""
+
+from .cars import CARS_SCHEMA, cars_class, load_cars
+from .census import census_network, load_census
+
+__all__ = [
+    "census_network",
+    "load_census",
+    "load_cars",
+    "cars_class",
+    "CARS_SCHEMA",
+]

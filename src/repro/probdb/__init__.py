@@ -1,0 +1,61 @@
+"""Probabilistic-database substrate: the disjoint-independent model.
+
+The paper's output is a disjoint-independent probabilistic database: each
+incomplete tuple becomes a block of mutually exclusive completions with
+probabilities summing to 1, blocks independent of one another.  This package
+provides distributions, blocks, the database object with possible-world
+semantics, and extensional query evaluation.
+"""
+
+from .analysis import attribute_distribution, rank_blocks_by_entropy, top_k_worlds
+from .blocks import TupleBlock
+from .engine import ProbRow, QueryEngine, ResultTuple
+from .lineage import (
+    FALSE,
+    TRUE,
+    BlockChoice,
+    Event,
+    conjunction,
+    disjunction,
+    estimate_event_probability,
+    event_probability,
+    negation,
+)
+from .database import PossibleWorld, ProbabilisticDatabase
+from .distribution import DEFAULT_SMOOTHING_FLOOR, Distribution, mixture
+from .query import (
+    block_selection_probability,
+    count_distribution,
+    expected_count,
+    possible_worlds_expected_count,
+    selection_probabilities,
+)
+
+__all__ = [
+    "Distribution",
+    "mixture",
+    "DEFAULT_SMOOTHING_FLOOR",
+    "TupleBlock",
+    "ProbabilisticDatabase",
+    "PossibleWorld",
+    "block_selection_probability",
+    "selection_probabilities",
+    "expected_count",
+    "count_distribution",
+    "possible_worlds_expected_count",
+    "attribute_distribution",
+    "rank_blocks_by_entropy",
+    "top_k_worlds",
+    "Event",
+    "TRUE",
+    "FALSE",
+    "BlockChoice",
+    "conjunction",
+    "disjunction",
+    "negation",
+    "event_probability",
+    "estimate_event_probability",
+    "ProbRow",
+    "ResultTuple",
+    "QueryEngine",
+]

@@ -1,0 +1,118 @@
+"""Analysis utilities over derived probabilistic databases.
+
+Tools a downstream consumer of the derived model actually reaches for:
+per-attribute value distributions aggregated across blocks (probabilistic
+projection), uncertainty ranking for cleaning triage, and most-probable
+top-k worlds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable
+
+from ..relational.tuples import MISSING_CODE
+from .database import PossibleWorld, ProbabilisticDatabase
+from .distribution import Distribution
+
+__all__ = [
+    "attribute_distribution",
+    "rank_blocks_by_entropy",
+    "top_k_worlds",
+]
+
+
+def attribute_distribution(
+    db: ProbabilisticDatabase, attribute: str
+) -> Distribution:
+    """Expected value histogram of ``attribute`` across the whole database.
+
+    The probabilistic projection: each certain tuple contributes weight 1 to
+    its value; each block contributes its marginal.  The result is the
+    expected relative frequency of each value over possible worlds.
+    """
+    attr = db.schema[attribute]
+    pos = db.schema.index(attribute)
+    totals: dict[Hashable, float] = {v: 0.0 for v in attr.domain}
+    for t in db.certain:
+        totals[attr.value(int(t.codes[pos]))] += 1.0
+    for block in db.blocks:
+        base_code = int(block.base.codes[pos])
+        if base_code != MISSING_CODE:
+            totals[attr.value(base_code)] += 1.0
+            continue
+        marginal = block.marginal(attribute)
+        for value, p in marginal:
+            totals[value] += float(p)
+    return Distribution.from_counts(totals, outcomes=attr.domain)
+
+
+def rank_blocks_by_entropy(
+    db: ProbabilisticDatabase, descending: bool = True
+) -> list[tuple[float, int]]:
+    """Blocks ordered by distribution entropy: ``(entropy, block_index)``.
+
+    High-entropy blocks are the most uncertain predictions — the natural
+    triage order for manual data cleaning (check the tuples the model is
+    least sure about first).
+    """
+    ranked = [
+        (block.distribution.entropy(), i) for i, block in enumerate(db.blocks)
+    ]
+    ranked.sort(key=lambda pair: pair[0], reverse=descending)
+    return ranked
+
+
+def top_k_worlds(db: ProbabilisticDatabase, k: int) -> list[PossibleWorld]:
+    """The ``k`` most probable possible worlds, most probable first.
+
+    Uses a best-first frontier over per-block outcome rankings, so the cost
+    is ``O(k log k x blocks)`` instead of enumerating all worlds.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    if not db.blocks:
+        world = next(iter(db.possible_worlds()))
+        return [world]
+
+    # Per block: completions sorted by probability, descending.
+    ranked_blocks = []
+    for block in db.blocks:
+        completions = sorted(
+            block.completions(), key=lambda pair: pair[1], reverse=True
+        )
+        ranked_blocks.append(completions)
+
+    def world_for(indices: tuple[int, ...]) -> PossibleWorld:
+        tuples = list(db.certain)
+        prob = 1.0
+        for block_idx, choice in enumerate(indices):
+            completed, p = ranked_blocks[block_idx][choice]
+            tuples.append(completed)
+            prob *= p
+        return PossibleWorld(tuples, prob)
+
+    def prob_of(indices: tuple[int, ...]) -> float:
+        prob = 1.0
+        for block_idx, choice in enumerate(indices):
+            prob *= ranked_blocks[block_idx][choice][1]
+        return prob
+
+    start = (0,) * len(db.blocks)
+    heap = [(-prob_of(start), start)]
+    seen = {start}
+    out: list[PossibleWorld] = []
+    while heap and len(out) < k:
+        neg_prob, indices = heapq.heappop(heap)
+        out.append(world_for(indices))
+        for block_idx in range(len(indices)):
+            if indices[block_idx] + 1 < len(ranked_blocks[block_idx]):
+                nxt = (
+                    indices[:block_idx]
+                    + (indices[block_idx] + 1,)
+                    + indices[block_idx + 1 :]
+                )
+                if nxt not in seen:
+                    seen.add(nxt)
+                    heapq.heappush(heap, (-prob_of(nxt), nxt))
+    return out

@@ -1,0 +1,33 @@
+"""Relational substrate: schemas, tuples, relations, I/O and bucketing.
+
+This package implements Section II's data model: a single relation over
+discrete finite-valued attributes, split into a complete part ``Rc`` (points)
+and an incomplete part ``Ri`` whose missing values are to be inferred.
+"""
+
+from .bucketing import Bucketing, equal_frequency_buckets, equal_width_buckets
+from .io import infer_schema, read_csv, write_csv
+from .join import pk_fk_join
+from .relation import Relation
+from .schema import Attribute, Schema, SchemaError
+from .tuples import MISSING, MISSING_CODE, RelTuple, make_tuple, proper_subsumes, subsumes
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "SchemaError",
+    "MISSING",
+    "MISSING_CODE",
+    "RelTuple",
+    "make_tuple",
+    "subsumes",
+    "proper_subsumes",
+    "Relation",
+    "read_csv",
+    "write_csv",
+    "infer_schema",
+    "Bucketing",
+    "equal_width_buckets",
+    "equal_frequency_buckets",
+    "pk_fk_join",
+]

@@ -1,0 +1,100 @@
+"""Discretization of continuous attributes into sub-range buckets.
+
+Section II limits the model to discrete finite-valued attributes and proposes
+"to break up the domains of continuous attributes into sub-ranges, treating
+each sub-range as a discrete value".  This module implements that
+preprocessing step with equal-width and equal-frequency (quantile) binning.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .schema import Attribute
+
+__all__ = ["Bucketing", "equal_width_buckets", "equal_frequency_buckets"]
+
+
+class Bucketing:
+    """A mapping from a continuous domain to labelled sub-range buckets.
+
+    The bucket with index ``i`` covers ``[edges[i], edges[i+1])``; the last
+    bucket is closed on the right.  Labels are human-readable range strings
+    and double as the discrete attribute's domain values.
+    """
+
+    def __init__(self, name: str, edges: Sequence[float]):
+        edges_arr = np.asarray(edges, dtype=float)
+        if edges_arr.ndim != 1 or edges_arr.size < 2:
+            raise ValueError("need at least two bucket edges")
+        if not (np.diff(edges_arr) > 0).all():
+            raise ValueError("bucket edges must be strictly increasing")
+        self.name = name
+        self.edges = edges_arr
+        self.labels = tuple(
+            f"[{edges_arr[i]:g},{edges_arr[i + 1]:g})"
+            for i in range(edges_arr.size - 1)
+        )
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.labels)
+
+    def bucket_index(self, value: float) -> int:
+        """Return the bucket index covering ``value``.
+
+        Values outside the edge range are clamped into the first/last bucket,
+        which matches how the paper treats out-of-range observations (every
+        observation must map to some discrete value).
+        """
+        idx = int(np.searchsorted(self.edges, value, side="right") - 1)
+        return min(max(idx, 0), self.num_buckets - 1)
+
+    def discretize(self, value: float) -> str:
+        """Return the label of the bucket covering ``value``."""
+        return self.labels[self.bucket_index(value)]
+
+    def discretize_many(self, values: Sequence[float]) -> list[str]:
+        """Vectorized :meth:`discretize` over a sequence of values."""
+        arr = np.asarray(values, dtype=float)
+        idx = np.searchsorted(self.edges, arr, side="right") - 1
+        idx = np.clip(idx, 0, self.num_buckets - 1)
+        return [self.labels[i] for i in idx]
+
+    def to_attribute(self) -> Attribute:
+        """Build the discrete :class:`Attribute` induced by this bucketing."""
+        return Attribute(self.name, self.labels)
+
+
+def equal_width_buckets(
+    name: str, values: Sequence[float], num_buckets: int
+) -> Bucketing:
+    """Bucket ``values`` into ``num_buckets`` equal-width sub-ranges."""
+    if num_buckets < 1:
+        raise ValueError("num_buckets must be positive")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot bucket an empty value sequence")
+    lo, hi = float(arr.min()), float(arr.max())
+    if lo == hi:
+        hi = lo + 1.0
+    return Bucketing(name, np.linspace(lo, hi, num_buckets + 1))
+
+
+def equal_frequency_buckets(
+    name: str, values: Sequence[float], num_buckets: int
+) -> Bucketing:
+    """Bucket ``values`` into sub-ranges with (nearly) equal populations."""
+    if num_buckets < 1:
+        raise ValueError("num_buckets must be positive")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot bucket an empty value sequence")
+    quantiles = np.linspace(0.0, 1.0, num_buckets + 1)
+    edges = np.quantile(arr, quantiles)
+    edges = np.unique(edges)
+    if edges.size < 2:
+        edges = np.array([edges[0], edges[0] + 1.0])
+    return Bucketing(name, edges)

@@ -1,0 +1,118 @@
+"""Primary-/foreign-key joins across incomplete relations.
+
+Section I-B: "If the database contains multiple incomplete relations, we may
+apply our techniques separately to each one.  In addition, we may exploit
+correlations that hold across relations, by computing a primary-foreign key
+join when appropriate."  This module provides that join: it combines two
+relations on a key attribute into a single wide relation that the MRSL
+learner can mine cross-relation correlations from.
+
+Join semantics with missing values: a row whose foreign-key value is missing
+cannot be matched and yields a result row whose right-hand attributes are
+all missing (left outer join); joining on a missing primary key is rejected
+because keys identify entities.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from .relation import Relation
+from .schema import Attribute, Schema, SchemaError
+from .tuples import MISSING_CODE
+
+__all__ = ["pk_fk_join"]
+
+
+def pk_fk_join(
+    left: Relation,
+    right: Relation,
+    foreign_key: str,
+    primary_key: str,
+    drop_key: bool = False,
+    prefix: str = "",
+) -> Relation:
+    """Left-outer join ``left.foreign_key = right.primary_key``.
+
+    Parameters
+    ----------
+    left:
+        The referencing relation; its rows drive the output (one output row
+        per left row).
+    right:
+        The referenced relation.  ``primary_key`` must identify each row
+        uniquely and must have no missing values.
+    foreign_key, primary_key:
+        Join attribute names.  Their domains must agree on the joined
+        values (a foreign-key value outside the primary-key domain simply
+        finds no partner, as with a dangling reference).
+    drop_key:
+        When true, the right relation's key column is omitted from the
+        result (it duplicates the foreign key).
+    prefix:
+        Optional prefix applied to right-hand attribute names to avoid
+        collisions (e.g. ``"dept_"``).
+
+    Returns a relation over ``left.schema + right non-key attributes``.
+    Unmatched or missing foreign keys produce missing right-hand values, so
+    the MRSL learner treats them exactly like any other incompleteness.
+    """
+    fk_pos = left.schema.index(foreign_key)
+    pk_pos = right.schema.index(primary_key)
+    pk_attr = right.schema[pk_pos]
+
+    right_codes = right.codes
+    if (right_codes[:, pk_pos] == MISSING_CODE).any():
+        raise SchemaError(
+            f"primary key {primary_key!r} has missing values; keys must be complete"
+        )
+    seen = set()
+    for code in right_codes[:, pk_pos]:
+        if int(code) in seen:
+            raise SchemaError(
+                f"primary key {primary_key!r} is not unique "
+                f"(value {pk_attr.value(int(code))!r} repeats)"
+            )
+        seen.add(int(code))
+
+    # Map a left fk code to the matching right row index via values: the two
+    # key attributes may order their domains differently.
+    fk_attr = left.schema[fk_pos]
+    value_to_row: dict[Hashable, int] = {}
+    for row_idx, code in enumerate(right_codes[:, pk_pos]):
+        value_to_row[pk_attr.value(int(code))] = row_idx
+
+    right_keep = [
+        i for i in range(len(right.schema)) if not (drop_key and i == pk_pos)
+    ]
+    out_attrs = list(left.schema.attributes)
+    names_in_use = set(left.schema.names)
+    for i in right_keep:
+        attr = right.schema[i]
+        name = prefix + attr.name
+        if name in names_in_use:
+            raise SchemaError(
+                f"attribute name collision on {name!r}; pass a prefix"
+            )
+        names_in_use.add(name)
+        out_attrs.append(Attribute(name, attr.domain))
+    out_schema = Schema(out_attrs)
+
+    left_codes = left.codes
+    n = left_codes.shape[0]
+    out = np.full((n, len(out_schema)), MISSING_CODE, dtype=np.int32)
+    out[:, : left_codes.shape[1]] = left_codes
+    for row in range(n):
+        fk_code = int(left_codes[row, fk_pos])
+        if fk_code == MISSING_CODE:
+            continue
+        partner = value_to_row.get(fk_attr.value(fk_code))
+        if partner is None:
+            continue  # dangling reference: right side stays missing
+        for out_col, right_col in enumerate(right_keep):
+            out[row, left_codes.shape[1] + out_col] = right_codes[
+                partner, right_col
+            ]
+    return Relation.from_codes(out_schema, out)

@@ -1,0 +1,59 @@
+"""Shared fixtures: the paper's Figure 1 relation and small seeded models."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import BayesianNetwork, Variable
+from repro.relational import Relation, Schema
+
+#: The incomplete matchmaking relation of the paper's Fig. 1 (ids t1..t17).
+FIG1_ROWS = [
+    ["20", "HS", "?", "?"],      # t1
+    ["20", "BS", "50K", "100K"],  # t2
+    ["20", "?", "50K", "?"],      # t3
+    ["20", "HS", "100K", "500K"],  # t4
+    ["20", "?", "?", "?"],        # t5
+    ["20", "HS", "50K", "100K"],  # t6
+    ["20", "HS", "50K", "500K"],  # t7
+    ["?", "HS", "?", "?"],        # t8
+    ["30", "BS", "100K", "100K"],  # t9
+    ["30", "?", "100K", "?"],     # t10
+    ["30", "HS", "?", "?"],       # t11
+    ["30", "MS", "?", "?"],       # t12
+    ["40", "BS", "100K", "100K"],  # t13
+    ["40", "HS", "?", "?"],       # t14
+    ["40", "BS", "50K", "500K"],  # t15
+    ["40", "HS", "?", "500K"],    # t16
+    ["40", "HS", "100K", "500K"],  # t17
+]
+
+
+@pytest.fixture
+def fig1_schema():
+    return Schema.from_domains(
+        {
+            "age": ["20", "30", "40"],
+            "edu": ["HS", "BS", "MS"],
+            "inc": ["50K", "100K"],
+            "nw": ["100K", "500K"],
+        }
+    )
+
+
+@pytest.fixture
+def fig1_relation(fig1_schema):
+    return Relation.from_rows(fig1_schema, FIG1_ROWS)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def chain_network():
+    """A tiny hand-parameterized chain a -> b -> c with known posteriors."""
+    a = Variable("a", 2, (), np.array([0.7, 0.3]))
+    b = Variable("b", 2, ("a",), np.array([[0.9, 0.1], [0.2, 0.8]]))
+    c = Variable("c", 2, ("b",), np.array([[0.6, 0.4], [0.3, 0.7]]))
+    return BayesianNetwork([a, b, c])

@@ -1,0 +1,111 @@
+"""Unit tests for probabilistic-DB analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.probdb import (
+    Distribution,
+    ProbabilisticDatabase,
+    TupleBlock,
+    attribute_distribution,
+    rank_blocks_by_entropy,
+    top_k_worlds,
+)
+from repro.relational import make_tuple
+
+
+@pytest.fixture
+def db(fig1_schema):
+    certain = [
+        make_tuple(fig1_schema, ["20", "BS", "50K", "100K"]),
+        make_tuple(fig1_schema, ["40", "HS", "100K", "500K"]),
+    ]
+    blocks = [
+        TupleBlock(
+            make_tuple(fig1_schema, {"age": "30", "edu": "MS", "inc": "50K"}),
+            Distribution([("100K",), ("500K",)], [0.6, 0.4]),
+        ),
+        TupleBlock(
+            make_tuple(fig1_schema, {"age": "40", "edu": "HS", "nw": "500K"}),
+            Distribution([("50K",), ("100K",)], [0.99, 0.01]),
+        ),
+    ]
+    return ProbabilisticDatabase(fig1_schema, certain, blocks)
+
+
+class TestAttributeDistribution:
+    def test_counts_certain_and_blocks(self, db):
+        dist = attribute_distribution(db, "nw")
+        # nw: certain 100K x1, 500K x1; block0 marginal .6/.4; block1 known 500K.
+        assert dist["100K"] == pytest.approx((1 + 0.6) / 4)
+        assert dist["500K"] == pytest.approx((1 + 0.4 + 1) / 4)
+
+    def test_known_attribute_in_block_counts_fully(self, db):
+        dist = attribute_distribution(db, "age")
+        assert dist["40"] == pytest.approx(2 / 4)
+        assert dist["30"] == pytest.approx(1 / 4)
+
+    def test_matches_possible_world_expectation(self, db):
+        dist = attribute_distribution(db, "inc")
+        total = 0.0
+        count_50 = 0.0
+        for world in db.possible_worlds():
+            for t in world:
+                total += world.probability
+                if t.value("inc") == "50K":
+                    count_50 += world.probability
+        assert dist["50K"] == pytest.approx(count_50 / total)
+
+
+class TestEntropyRanking:
+    def test_order_is_by_uncertainty(self, db):
+        ranked = rank_blocks_by_entropy(db)
+        # Block 0 (0.6/0.4) is far more uncertain than block 1 (0.99/0.01).
+        assert [i for _, i in ranked] == [0, 1]
+        assert ranked[0][0] > ranked[1][0]
+
+    def test_ascending_option(self, db):
+        ranked = rank_blocks_by_entropy(db, descending=False)
+        assert [i for _, i in ranked] == [1, 0]
+
+
+class TestTopKWorlds:
+    def test_first_world_is_most_probable(self, db):
+        worlds = top_k_worlds(db, 1)
+        assert worlds[0].probability == pytest.approx(
+            db.most_probable_world().probability
+        )
+
+    def test_worlds_are_sorted_and_distinct(self, db):
+        worlds = top_k_worlds(db, 4)
+        probs = [w.probability for w in worlds]
+        assert probs == sorted(probs, reverse=True)
+        assert len(worlds) == 4
+        signatures = {
+            tuple(tuple(t.values()) for t in w) for w in worlds
+        }
+        assert len(signatures) == 4
+
+    def test_matches_full_enumeration(self, db):
+        worlds = top_k_worlds(db, 4)
+        brute = sorted(
+            db.possible_worlds(), key=lambda w: w.probability, reverse=True
+        )
+        for got, want in zip(worlds, brute):
+            assert got.probability == pytest.approx(want.probability)
+
+    def test_k_larger_than_world_count(self, db):
+        worlds = top_k_worlds(db, 100)
+        assert len(worlds) == db.num_possible_worlds()
+
+    def test_no_blocks(self, fig1_schema):
+        db = ProbabilisticDatabase(
+            fig1_schema, [make_tuple(fig1_schema, ["20", "HS", "50K", "100K"])]
+        )
+        worlds = top_k_worlds(db, 3)
+        assert len(worlds) == 1
+        assert worlds[0].probability == pytest.approx(1.0)
+
+    def test_bad_k_rejected(self, db):
+        with pytest.raises(ValueError):
+            top_k_worlds(db, 0)

@@ -1,0 +1,100 @@
+"""Unit tests for continuous-attribute bucketing."""
+
+import numpy as np
+import pytest
+
+from repro.relational import Bucketing, equal_frequency_buckets, equal_width_buckets
+
+
+class TestBucketing:
+    def test_labels_cover_edges(self):
+        b = Bucketing("x", [0.0, 1.0, 2.0])
+        assert b.num_buckets == 2
+        assert b.labels == ("[0,1)", "[1,2)")
+
+    def test_bucket_index_interior(self):
+        b = Bucketing("x", [0.0, 1.0, 2.0])
+        assert b.bucket_index(0.5) == 0
+        assert b.bucket_index(1.5) == 1
+
+    def test_left_edge_inclusive(self):
+        b = Bucketing("x", [0.0, 1.0, 2.0])
+        assert b.bucket_index(0.0) == 0
+        assert b.bucket_index(1.0) == 1
+
+    def test_right_edge_clamped_into_last(self):
+        b = Bucketing("x", [0.0, 1.0, 2.0])
+        assert b.bucket_index(2.0) == 1
+
+    def test_out_of_range_clamped(self):
+        b = Bucketing("x", [0.0, 1.0, 2.0])
+        assert b.bucket_index(-100) == 0
+        assert b.bucket_index(100) == 1
+
+    def test_discretize_returns_label(self):
+        b = Bucketing("x", [0.0, 10.0, 20.0])
+        assert b.discretize(5) == "[0,10)"
+
+    def test_discretize_many_matches_scalar(self):
+        b = Bucketing("x", [0.0, 1.0, 2.0, 3.0])
+        values = [-1, 0.2, 1.7, 2.4, 99]
+        assert b.discretize_many(values) == [b.discretize(v) for v in values]
+
+    def test_to_attribute(self):
+        b = Bucketing("income", [0, 50, 100])
+        attr = b.to_attribute()
+        assert attr.name == "income"
+        assert attr.cardinality == 2
+
+    def test_non_increasing_edges_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Bucketing("x", [0.0, 0.0, 1.0])
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Bucketing("x", [1.0])
+
+
+class TestEqualWidth:
+    def test_covers_data_range(self, rng):
+        values = rng.uniform(10, 20, size=100)
+        b = equal_width_buckets("x", values, 4)
+        assert b.edges[0] == pytest.approx(values.min())
+        assert b.edges[-1] == pytest.approx(values.max())
+
+    def test_equal_widths(self):
+        b = equal_width_buckets("x", [0.0, 8.0], 4)
+        widths = np.diff(b.edges)
+        assert np.allclose(widths, 2.0)
+
+    def test_constant_values_handled(self):
+        b = equal_width_buckets("x", [5.0, 5.0, 5.0], 2)
+        assert b.num_buckets == 2
+        assert b.bucket_index(5.0) == 0
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            equal_width_buckets("x", [], 2)
+
+    def test_bad_bucket_count_rejected(self):
+        with pytest.raises(ValueError):
+            equal_width_buckets("x", [1.0], 0)
+
+
+class TestEqualFrequency:
+    def test_balanced_populations(self, rng):
+        values = rng.normal(size=1000)
+        b = equal_frequency_buckets("x", values, 4)
+        counts = np.bincount(
+            [b.bucket_index(v) for v in values], minlength=b.num_buckets
+        )
+        # Quartile buckets of a continuous sample should be near-equal.
+        assert counts.min() > 200
+
+    def test_duplicate_quantiles_collapse(self):
+        b = equal_frequency_buckets("x", [1.0] * 50, 4)
+        assert b.num_buckets >= 1
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            equal_frequency_buckets("x", [], 3)

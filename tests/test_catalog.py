@@ -1,0 +1,76 @@
+"""Tests that the reconstructed catalog reproduces Table I."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import CATALOG, get_spec, make_network, table1_rows
+from repro.bayesnet.catalog import PUBLISHED_TABLE1
+
+
+class TestTableI:
+    def test_all_twenty_networks_present(self):
+        assert set(CATALOG) == {f"BN{i}" for i in range(1, 21)}
+
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    def test_num_attrs_exact(self, name):
+        topo = get_spec(name).topology()
+        assert len(topo.names) == PUBLISHED_TABLE1[name][0]
+
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    def test_domain_size_exact(self, name):
+        topo = get_spec(name).topology()
+        assert topo.domain_size() == PUBLISHED_TABLE1[name][2]
+
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    def test_depth_exact(self, name):
+        topo = get_spec(name).topology()
+        assert topo.depth() == PUBLISHED_TABLE1[name][3]
+
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    def test_avg_cardinality_close(self, name):
+        # BN1/BN2/BN7 admit no exact factorization at the published average;
+        # everything must be within 0.6 of the published value.
+        topo = get_spec(name).topology()
+        assert topo.average_cardinality() == pytest.approx(
+            PUBLISHED_TABLE1[name][1], abs=0.6
+        )
+
+    def test_table1_rows_shape(self):
+        rows = table1_rows()
+        assert len(rows) == 20
+        assert rows[0][0] == "BN1"
+
+    def test_crown_family_membership(self):
+        for name in ("BN8", "BN9", "BN17", "BN18"):
+            assert get_spec(name).family == "crown"
+
+    def test_line_family_membership(self):
+        for name in ("BN13", "BN14", "BN15", "BN16"):
+            assert get_spec(name).family == "line"
+
+    def test_bn4_is_independent(self):
+        assert get_spec("BN4").family == "independent"
+
+
+class TestMakeNetwork:
+    def test_make_network_seeds_reproducibly(self):
+        a = make_network("BN8", 0)
+        b = make_network("BN8", 0)
+        for name in a.names:
+            assert np.allclose(a[name].cpt, b[name].cpt)
+
+    def test_make_network_structure(self):
+        net = make_network("BN13", 0)
+        assert len(net) == 6
+        assert net.depth() == 6
+
+    def test_unknown_network_raises(self):
+        with pytest.raises(KeyError, match="unknown network"):
+            get_spec("BN99")
+
+    def test_instances_differ_across_seeds(self):
+        a = make_network("BN9", 1)
+        b = make_network("BN9", 2)
+        assert any(
+            not np.allclose(a[name].cpt, b[name].cpt) for name in a.names
+        )

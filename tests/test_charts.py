@@ -1,0 +1,48 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart(
+            {"up": [(0, 0), (1, 1), (2, 2)], "flat": [(0, 1), (2, 1)]},
+            width=20,
+            height=6,
+            x_label="size",
+            y_label="time",
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("time")
+        assert any("* = up" in line for line in lines)
+        assert any("o = flat" in line for line in lines)
+        assert " size: 0 .. 2" in out
+
+    def test_markers_placed_at_extremes(self):
+        out = ascii_chart({"s": [(0, 0), (10, 10)]}, width=11, height=5)
+        lines = out.splitlines()
+        # Bottom-left and top-right of the canvas carry the marker.
+        assert lines[1][1 + 10] == "*"   # top row, rightmost column
+        assert lines[5][1 + 0] == "*"    # bottom row, leftmost column
+
+    def test_constant_series_handled(self):
+        out = ascii_chart({"c": [(1, 5), (2, 5)]}, width=12, height=4)
+        assert "*" in out
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"empty": []})
+
+    def test_small_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"s": [(0, 0)]}, width=5, height=2)
+
+    def test_many_series_get_distinct_markers(self):
+        series = {f"s{i}": [(i, i)] for i in range(5)}
+        out = ascii_chart(series)
+        for marker in "*o+x#":
+            assert f"{marker} = " in out

@@ -1,0 +1,104 @@
+"""Unit tests for the command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.relational import write_csv
+
+
+@pytest.fixture
+def csv_path(tmp_path, fig1_relation):
+    path = tmp_path / "data.csv"
+    write_csv(fig1_relation, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_derive_defaults(self, csv_path):
+        args = build_parser().parse_args(["derive", str(csv_path)])
+        assert args.support == 0.01
+        assert args.voters == "best"
+
+
+class TestDerive:
+    def test_derive_writes_blocks(self, csv_path, tmp_path, fig1_relation):
+        out = tmp_path / "out.csv"
+        code = main(
+            [
+                "derive", str(csv_path),
+                "--support", "0.1",
+                "--samples", "200",
+                "--burn-in", "20",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        with out.open() as f:
+            rows = list(csv.reader(f))
+        header, body = rows[0], rows[1:]
+        assert header[:2] == ["block", "prob"]
+        certain = [r for r in body if r[0] == "-"]
+        assert len(certain) == fig1_relation.num_complete
+        # Each block's probabilities sum to ~1.
+        blocks: dict[str, float] = {}
+        for r in body:
+            if r[0] != "-":
+                blocks[r[0]] = blocks.get(r[0], 0.0) + float(r[1])
+        assert len(blocks) == fig1_relation.num_incomplete
+        for total in blocks.values():
+            assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_derive_to_stdout(self, csv_path, capsys):
+        code = main(
+            ["derive", str(csv_path), "--support", "0.1",
+             "--samples", "100", "--burn-in", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("block,prob,")
+
+
+class TestInspect:
+    def test_inspect_prints_lattice(self, csv_path, capsys):
+        code = main(
+            ["inspect", str(csv_path), "--support", "0.1",
+             "--attribute", "age"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P(age)" in out
+
+    def test_inspect_unknown_attribute(self, csv_path, capsys):
+        code = main(
+            ["inspect", str(csv_path), "--support", "0.1",
+             "--attribute", "bogus"]
+        )
+        assert code == 2
+
+
+class TestLearnAndInfo:
+    def test_learn_saves_model(self, csv_path, tmp_path):
+        model_path = tmp_path / "model.json"
+        code = main(
+            ["learn", str(csv_path), "--support", "0.1",
+             "--model", str(model_path)]
+        )
+        assert code == 0
+        assert model_path.exists()
+
+    def test_model_info(self, csv_path, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        main(["learn", str(csv_path), "--support", "0.1",
+              "--model", str(model_path)])
+        capsys.readouterr()
+        code = main(["model-info", str(model_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "meta-rules" in out
+        assert "age" in out

@@ -1,0 +1,91 @@
+"""Unit tests for ProbabilisticDatabase and possible-world semantics."""
+
+import numpy as np
+import pytest
+
+from repro.probdb import Distribution, ProbabilisticDatabase, TupleBlock
+from repro.relational import SchemaError, make_tuple
+
+
+@pytest.fixture
+def small_db(fig1_schema):
+    certain = [make_tuple(fig1_schema, ["20", "BS", "50K", "100K"])]
+    b1 = TupleBlock(
+        make_tuple(fig1_schema, {"age": "30", "edu": "MS", "inc": "50K"}),
+        Distribution([("100K",), ("500K",)], [0.6, 0.4]),
+    )
+    b2 = TupleBlock(
+        make_tuple(fig1_schema, {"age": "40", "edu": "HS", "nw": "500K"}),
+        Distribution([("50K",), ("100K",)], [0.3, 0.7]),
+    )
+    return ProbabilisticDatabase(fig1_schema, certain, [b1, b2])
+
+
+class TestConstruction:
+    def test_counts(self, small_db):
+        assert small_db.total_tuples() == 3
+        assert small_db.num_possible_worlds() == 4
+
+    def test_incomplete_certain_tuple_rejected(self, fig1_schema):
+        t = make_tuple(fig1_schema, {"age": "20"})
+        with pytest.raises(SchemaError, match="complete"):
+            ProbabilisticDatabase(fig1_schema, [t], [])
+
+    def test_empty_database(self, fig1_schema):
+        db = ProbabilisticDatabase(fig1_schema)
+        assert db.num_possible_worlds() == 1
+        worlds = list(db.possible_worlds())
+        assert len(worlds) == 1
+        assert worlds[0].probability == pytest.approx(1.0)
+
+
+class TestPossibleWorlds:
+    def test_world_probabilities_sum_to_one(self, small_db):
+        total = sum(w.probability for w in small_db.possible_worlds())
+        assert total == pytest.approx(1.0)
+
+    def test_each_world_is_complete(self, small_db):
+        for world in small_db.possible_worlds():
+            assert len(world) == 3
+            assert all(t.is_complete for t in world)
+
+    def test_world_probability_is_product(self, small_db):
+        probs = sorted(w.probability for w in small_db.possible_worlds())
+        expected = sorted([0.6 * 0.3, 0.6 * 0.7, 0.4 * 0.3, 0.4 * 0.7])
+        assert probs == pytest.approx(expected)
+
+    def test_max_worlds_guard(self, small_db):
+        with pytest.raises(ValueError, match="exceed"):
+            list(small_db.possible_worlds(max_worlds=2))
+
+    def test_sample_world(self, small_db, rng):
+        world = small_db.sample_world(rng)
+        assert len(world) == 3
+        assert all(t.is_complete for t in world)
+
+    def test_sampled_world_frequencies(self, fig1_schema, rng):
+        block = TupleBlock(
+            make_tuple(fig1_schema, {"age": "30", "edu": "MS", "inc": "50K"}),
+            Distribution([("100K",), ("500K",)], [0.9, 0.1]),
+        )
+        db = ProbabilisticDatabase(fig1_schema, [], [block])
+        hits = sum(
+            1
+            for _ in range(500)
+            if db.sample_world(rng).tuples[0].value("nw") == "100K"
+        )
+        assert hits / 500 == pytest.approx(0.9, abs=0.05)
+
+
+class TestDerivedViews:
+    def test_most_probable_world(self, small_db):
+        world = small_db.most_probable_world()
+        assert world.probability == pytest.approx(0.6 * 0.7)
+        values = {tuple(t.values()) for t in world}
+        assert ("30", "MS", "50K", "100K") in values
+        assert ("40", "HS", "100K", "500K") in values
+
+    def test_to_relation_is_complete(self, small_db):
+        rel = small_db.to_relation()
+        assert len(rel) == 3
+        assert rel.num_complete == 3

@@ -1,0 +1,124 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CARS_SCHEMA,
+    cars_class,
+    census_network,
+    load_cars,
+    load_census,
+)
+
+
+class TestCensus:
+    def test_load_shapes(self):
+        rel, net = load_census(500, rng=0)
+        assert len(rel) == 500
+        assert rel.num_complete == 500
+        assert rel.schema.names == (
+            "age", "education", "sector", "income", "wealth"
+        )
+        assert net.names == rel.schema.names
+
+    def test_network_is_fixed(self):
+        a = census_network()
+        b = census_network()
+        for name in a.names:
+            assert np.allclose(a[name].cpt, b[name].cpt)
+
+    def test_cpts_are_valid(self):
+        net = census_network()
+        for v in net:
+            assert np.allclose(v.cpt.sum(axis=-1), 1.0)
+            assert (v.cpt >= 0).all()
+
+    def test_income_monotone_in_education(self):
+        """P(income=high) rises with education at fixed age/sector."""
+        net = census_network()
+        cpt = net["income"].cpt  # (age, edu, sector, income)
+        high = cpt[1, :, 1, 2]
+        assert high[0] < high[1] < high[2]
+
+    def test_reproducible(self):
+        a, _ = load_census(100, rng=7)
+        b, _ = load_census(100, rng=7)
+        assert (a.codes == b.codes).all()
+
+    def test_exact_posteriors_available(self):
+        from repro.bench.metrics import true_single_posterior
+        from repro.relational import make_tuple
+
+        rel, net = load_census(10, rng=0)
+        t = make_tuple(
+            rel.schema,
+            {"age": "41-60", "education": "MS+", "sector": "tech",
+             "wealth": "high"},
+        )
+        posterior = true_single_posterior(net, t)
+        assert sum(posterior.probs) == pytest.approx(1.0)
+        # A high-wealth, well-educated tech profile should skew to high income.
+        assert posterior.top1() == "high"
+
+    def test_mrsl_learns_census(self):
+        from repro.core import learn_mrsl
+
+        rel, net = load_census(4000, rng=1)
+        result = learn_mrsl(rel, support_threshold=0.01)
+        assert result.model_size > 50
+
+
+class TestCars:
+    def test_rule_unacceptable_cases(self):
+        assert cars_class("low", "low", "4plus", "more", "low") == "unacc"
+        assert cars_class("low", "low", "4plus", "2", "high") == "unacc"
+        assert cars_class("vhigh", "high", "4plus", "more", "high") == "unacc"
+
+    def test_rule_good_case(self):
+        assert cars_class("low", "low", "4plus", "more", "high") == "good"
+
+    def test_rule_acceptable_case(self):
+        assert cars_class("med", "med", "3", "4", "med") == "acc"
+
+    def test_load_without_noise_matches_rule(self):
+        rel = load_cars(300, rng=0, label_noise=0.0)
+        for t in rel:
+            values = t.values()
+            assert values[5] == cars_class(*values[:5])
+
+    def test_label_noise_rate(self):
+        clean = load_cars(4000, rng=3, label_noise=0.0)
+        noisy = load_cars(4000, rng=3, label_noise=0.3)
+        disagreements = (
+            clean.codes[:, 5] != noisy.codes[:, 5]
+        ).mean()
+        # 30% resampled uniformly over 3 classes -> ~20% visible changes.
+        assert disagreements == pytest.approx(0.2, abs=0.03)
+
+    def test_schema(self):
+        assert CARS_SCHEMA.names[-1] == "class"
+        assert CARS_SCHEMA.domain_size() == 4 * 4 * 3 * 3 * 3 * 3
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            load_cars(10, rng=0, label_noise=1.0)
+
+    def test_mrsl_predicts_class(self):
+        """MRSL recovers the near-functional class dependency."""
+        from repro.bench import mask_relation
+        from repro.core import infer_single, learn_mrsl
+
+        rng = np.random.default_rng(4)
+        rel = load_cars(6000, rng=rng, label_noise=0.02)
+        train, test = rel.split(0.9, rng)
+        model = learn_mrsl(train, support_threshold=0.002).model
+        hits = 0
+        n = 80
+        for i in range(n):
+            t = test[i]
+            masked = t.restrict([0, 1, 2, 3, 4])  # hide the class
+            pred = infer_single(masked, model["class"], "best", "averaged")
+            hits += pred.top1() == t.value("class")
+        # Rule + 2% noise: the ensemble should get the vast majority right.
+        assert hits / n > 0.75

@@ -1,0 +1,90 @@
+"""Unit tests for Gibbs convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import forward_sample_relation, make_network
+from repro.core import gelman_rubin, learn_mrsl, psrf, suggest_chain_lengths
+from repro.relational import make_tuple
+
+
+class TestPSRF:
+    def test_identical_chains_give_one(self, rng):
+        chains = np.tile(rng.normal(size=200), (4, 1))
+        # Identical chains: no between-chain variance.
+        assert psrf(chains) == pytest.approx(1.0, abs=0.01)
+
+    def test_mixed_chains_near_one(self, rng):
+        chains = rng.normal(size=(4, 500))
+        assert psrf(chains) < 1.1
+
+    def test_separated_chains_large(self, rng):
+        chains = rng.normal(size=(4, 500)) + np.arange(4)[:, None] * 10
+        assert psrf(chains) > 2.0
+
+    def test_constant_identical_chains(self):
+        chains = np.ones((3, 50))
+        assert psrf(chains) == 1.0
+
+    def test_constant_separated_chains(self):
+        chains = np.vstack([np.zeros(50), np.ones(50)])
+        assert psrf(chains) == float("inf")
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            psrf(np.ones((1, 50)))
+        with pytest.raises(ValueError):
+            psrf(np.ones(50))
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(0)
+    net = make_network("BN8", rng)
+    data = forward_sample_relation(net, 3000, rng)
+    model = learn_mrsl(data, support_threshold=0.005).model
+    return data.schema, model
+
+
+class TestGelmanRubin:
+    def test_converges_on_small_network(self, trained):
+        schema, model = trained
+        t = make_tuple(schema, {"x0": "v0"})
+        value = gelman_rubin(model, t, num_chains=4, num_steps=300, rng=1)
+        assert value < 1.2
+
+    def test_needs_two_chains(self, trained):
+        schema, model = trained
+        t = make_tuple(schema, {"x0": "v0"})
+        with pytest.raises(ValueError):
+            gelman_rubin(model, t, num_chains=1)
+
+    def test_deterministic_with_seed(self, trained):
+        schema, model = trained
+        t = make_tuple(schema, {"x0": "v0"})
+        a = gelman_rubin(model, t, num_chains=3, num_steps=100, rng=5)
+        b = gelman_rubin(model, t, num_chains=3, num_steps=100, rng=5)
+        assert a == pytest.approx(b)
+
+
+class TestSuggestChainLengths:
+    def test_returns_converged_plan(self, trained):
+        schema, model = trained
+        t = make_tuple(schema, {"x0": "v0", "x1": "v1"})
+        plan = suggest_chain_lengths(
+            model, t, initial_samples=100, max_samples=800, rng=2
+        )
+        assert plan.num_samples <= 800
+        assert plan.psrf > 0
+        if plan.converged:
+            assert plan.psrf <= 1.1
+
+    def test_caps_at_max_samples(self, trained):
+        schema, model = trained
+        t = make_tuple(schema, {"x0": "v0"})
+        plan = suggest_chain_lengths(
+            model, t, target_psrf=0.5,  # unreachable: PSRF >= ~1
+            initial_samples=50, max_samples=100, rng=3,
+        )
+        assert not plan.converged
+        assert plan.num_samples == 100

@@ -1,0 +1,170 @@
+"""Unit tests for Distribution: normalization, KL, top-1, mixtures."""
+
+import numpy as np
+import pytest
+
+from repro.probdb import Distribution, mixture
+from repro.probdb.distribution import DEFAULT_SMOOTHING_FLOOR
+
+
+class TestConstruction:
+    def test_normalizes_on_construction(self):
+        d = Distribution(["a", "b"], [2.0, 2.0])
+        assert d["a"] == pytest.approx(0.5)
+
+    def test_from_counts(self):
+        d = Distribution.from_counts({"x": 3, "y": 1})
+        assert d["x"] == pytest.approx(0.75)
+
+    def test_from_counts_with_outcome_order(self):
+        d = Distribution.from_counts({"y": 1}, outcomes=["x", "y"])
+        assert d.outcomes == ("x", "y")
+        assert d["x"] == 0.0
+
+    def test_uniform(self):
+        d = Distribution.uniform(["a", "b", "c", "d"])
+        assert all(p == pytest.approx(0.25) for _, p in d)
+
+    def test_point_mass(self):
+        d = Distribution.point_mass(["a", "b"], "b")
+        assert d["b"] == 1.0
+
+    def test_negative_prob_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Distribution(["a"], [-0.1])
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            Distribution(["a", "b"], [0.0, 0.0])
+
+    def test_duplicate_outcomes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Distribution(["a", "a"], [0.5, 0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Distribution([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Distribution(["a", "b"], [1.0])
+
+
+class TestAccessors:
+    def test_getitem_absent_outcome_is_zero(self):
+        d = Distribution(["a"], [1.0])
+        assert d["zzz"] == 0.0
+
+    def test_top1(self):
+        d = Distribution(["a", "b", "c"], [0.2, 0.5, 0.3])
+        assert d.top1() == "b"
+
+    def test_top1_tie_breaks_by_order(self):
+        d = Distribution(["a", "b"], [0.5, 0.5])
+        assert d.top1() == "a"
+
+    def test_entropy_of_point_mass_is_zero(self):
+        d = Distribution.point_mass(["a", "b"], "a")
+        assert d.entropy() == pytest.approx(0.0)
+
+    def test_entropy_of_uniform_is_log_n(self):
+        d = Distribution.uniform(list(range(8)))
+        assert d.entropy() == pytest.approx(np.log(8))
+
+
+class TestKL:
+    def test_kl_of_identical_is_zero(self):
+        d = Distribution(["a", "b"], [0.3, 0.7])
+        assert d.kl_divergence(d) == pytest.approx(0.0)
+
+    def test_kl_is_positive_for_different(self):
+        p = Distribution(["a", "b"], [0.9, 0.1])
+        q = Distribution(["a", "b"], [0.5, 0.5])
+        assert p.kl_divergence(q) > 0
+
+    def test_kl_matches_closed_form(self):
+        p = Distribution(["a", "b"], [0.75, 0.25])
+        q = Distribution(["a", "b"], [0.5, 0.5])
+        expected = 0.75 * np.log(1.5) + 0.25 * np.log(0.5)
+        assert p.kl_divergence(q) == pytest.approx(expected)
+
+    def test_kl_matches_outcomes_by_value_not_position(self):
+        p = Distribution(["a", "b"], [0.3, 0.7])
+        q = Distribution(["b", "a"], [0.7, 0.3])
+        assert p.kl_divergence(q) == pytest.approx(0.0)
+
+    def test_kl_infinite_when_support_not_covered(self):
+        p = Distribution(["a", "b"], [0.5, 0.5])
+        q = Distribution.point_mass(["a", "b"], "a")
+        assert p.kl_divergence(q) == float("inf")
+
+    def test_kl_asymmetric(self):
+        p = Distribution(["a", "b"], [0.9, 0.1])
+        q = Distribution(["a", "b"], [0.6, 0.4])
+        assert p.kl_divergence(q) != pytest.approx(q.kl_divergence(p))
+
+
+class TestTransforms:
+    def test_smoothed_is_strictly_positive(self):
+        d = Distribution(["a", "b", "c"], [1.0, 0.0, 0.0])
+        s = d.smoothed()
+        assert all(p >= DEFAULT_SMOOTHING_FLOOR / 2 for p in s.probs)
+        assert s.probs.sum() == pytest.approx(1.0)
+
+    def test_smoothed_preserves_ranking(self):
+        d = Distribution(["a", "b"], [0.8, 0.2])
+        assert d.smoothed().top1() == "a"
+
+    def test_reordered(self):
+        d = Distribution(["a", "b"], [0.3, 0.7])
+        r = d.reordered(["b", "a"])
+        assert r.outcomes == ("b", "a")
+        assert r["b"] == pytest.approx(0.7)
+
+    def test_total_variation(self):
+        p = Distribution(["a", "b"], [1.0, 0.0])
+        q = Distribution(["a", "b"], [0.0, 1.0])
+        assert p.total_variation(q) == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_sample_frequencies_converge(self, rng):
+        d = Distribution(["a", "b"], [0.8, 0.2])
+        draws = d.sample_many(5000, rng)
+        freq_a = draws.count("a") / 5000
+        assert freq_a == pytest.approx(0.8, abs=0.03)
+
+    def test_point_mass_always_sampled(self, rng):
+        d = Distribution.point_mass(["a", "b"], "b")
+        assert all(v == "b" for v in d.sample_many(50, rng))
+
+
+class TestMixture:
+    def test_unweighted_mixture_is_mean(self):
+        p = Distribution(["a", "b"], [1.0, 0.0])
+        q = Distribution(["a", "b"], [0.0, 1.0])
+        m = mixture([p, q])
+        assert m["a"] == pytest.approx(0.5)
+
+    def test_weighted_mixture(self):
+        p = Distribution(["a", "b"], [1.0, 0.0])
+        q = Distribution(["a", "b"], [0.0, 1.0])
+        m = mixture([p, q], weights=[3, 1])
+        assert m["a"] == pytest.approx(0.75)
+
+    def test_mixture_over_union_of_outcomes(self):
+        p = Distribution(["a"], [1.0])
+        q = Distribution(["b"], [1.0])
+        m = mixture([p, q])
+        assert set(m.outcomes) == {"a", "b"}
+
+    def test_empty_mixture_rejected(self):
+        with pytest.raises(ValueError):
+            mixture([])
+
+    def test_bad_weights_rejected(self):
+        p = Distribution(["a"], [1.0])
+        with pytest.raises(ValueError):
+            mixture([p], weights=[-1])
+        with pytest.raises(ValueError):
+            mixture([p, p], weights=[1])

@@ -1,0 +1,99 @@
+"""Unit tests for exact inference by variable elimination."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import (
+    generate_instance,
+    joint_posterior,
+    marginal,
+    posterior,
+    random_dag_topology,
+)
+
+
+class TestChainNetwork:
+    """Hand-verifiable posteriors on the a -> b -> c chain fixture."""
+
+    def test_prior_marginal_of_root(self, chain_network):
+        m = marginal(chain_network, "a")
+        assert m[0] == pytest.approx(0.7)
+        assert m[1] == pytest.approx(0.3)
+
+    def test_marginal_of_middle(self, chain_network):
+        # P(b=0) = 0.7*0.9 + 0.3*0.2 = 0.69
+        m = marginal(chain_network, "b")
+        assert m[0] == pytest.approx(0.69)
+
+    def test_posterior_given_child(self, chain_network):
+        # P(a=0 | b=0) = 0.7*0.9 / 0.69
+        p = posterior(chain_network, "a", {"b": 0})
+        assert p[0] == pytest.approx(0.63 / 0.69)
+
+    def test_posterior_given_grandchild(self, chain_network):
+        # P(c=0) via b: P(c=0|b=0)=0.6, P(c=0|b=1)=0.3.
+        # P(a=0|c=0) = sum_b P(a=0)P(b|a=0)P(c=0|b) / P(c=0)
+        num = 0.7 * (0.9 * 0.6 + 0.1 * 0.3)
+        den = num + 0.3 * (0.2 * 0.6 + 0.8 * 0.3)
+        p = posterior(chain_network, "a", {"c": 0})
+        assert p[0] == pytest.approx(num / den)
+
+    def test_evidence_dseparates(self, chain_network):
+        # Given b, c is independent of a.
+        with_a = posterior(chain_network, "c", {"b": 1, "a": 0})
+        without_a = posterior(chain_network, "c", {"b": 1})
+        assert with_a[0] == pytest.approx(without_a[0])
+
+    def test_joint_posterior_factorizes_over_chain(self, chain_network):
+        joint = joint_posterior(chain_network, ("a", "c"), {"b": 0})
+        pa = posterior(chain_network, "a", {"b": 0})
+        pc = posterior(chain_network, "c", {"b": 0})
+        # a and c are conditionally independent given b.
+        for (ca, cc), p in joint:
+            assert p == pytest.approx(pa[ca] * pc[cc])
+
+    def test_joint_posterior_outcome_order(self, chain_network):
+        joint = joint_posterior(chain_network, ("a", "c"), {})
+        assert joint.outcomes == ((0, 0), (0, 1), (1, 0), (1, 1))
+
+
+class TestValidation:
+    def test_query_overlapping_evidence_rejected(self, chain_network):
+        with pytest.raises(ValueError, match="query and evidence"):
+            posterior(chain_network, "a", {"a": 0})
+
+    def test_empty_query_rejected(self, chain_network):
+        with pytest.raises(ValueError):
+            joint_posterior(chain_network, (), {})
+
+    def test_posterior_sums_to_one(self, chain_network):
+        p = posterior(chain_network, "b", {"c": 1})
+        assert sum(p.probs) == pytest.approx(1.0)
+
+
+class TestAgainstJointEnumeration:
+    """Variable elimination must agree with brute-force joint computation."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_networks(self, seed):
+        rng = np.random.default_rng(seed)
+        topo = random_dag_topology([2, 3, 2, 3], edge_prob=0.5, seed=seed)
+        net = generate_instance(topo, rng)
+        joint = net.joint_factor().transpose(net.names)
+
+        evidence = {"x0": 1}
+        # Brute force P(x2 | x0=1).
+        table = joint.table[1]  # fix x0=1; axes now x1, x2, x3
+        px2 = table.sum(axis=(0, 2))
+        px2 = px2 / px2.sum()
+
+        p = posterior(net, "x2", evidence)
+        assert np.allclose(p.probs, px2, atol=1e-10)
+
+    def test_joint_query_matches_enumeration(self, chain_network):
+        joint = joint_posterior(chain_network, ("a", "b"), {"c": 1})
+        full = chain_network.joint_factor().transpose(("a", "b", "c"))
+        table = full.table[:, :, 1]
+        table = table / table.sum()
+        for (ca, cb), p in joint:
+            assert p == pytest.approx(table[ca, cb])

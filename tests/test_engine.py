@@ -1,0 +1,164 @@
+"""Tests for the intensional SPJ engine, validated against enumeration."""
+
+import pytest
+
+from repro.probdb import (
+    Distribution,
+    ProbabilisticDatabase,
+    QueryEngine,
+    TupleBlock,
+)
+from repro.relational import make_tuple
+
+
+@pytest.fixture
+def db(fig1_schema):
+    certain = [make_tuple(fig1_schema, ["20", "BS", "50K", "100K"])]
+    blocks = [
+        TupleBlock(
+            make_tuple(fig1_schema, {"age": "30", "edu": "MS", "inc": "50K"}),
+            Distribution([("100K",), ("500K",)], [0.6, 0.4]),
+        ),
+        TupleBlock(
+            make_tuple(fig1_schema, {"age": "40", "edu": "HS", "nw": "500K"}),
+            Distribution([("50K",), ("100K",)], [0.3, 0.7]),
+        ),
+    ]
+    return ProbabilisticDatabase(fig1_schema, certain, blocks)
+
+
+def world_probability_of(db, value_predicate):
+    """P(at least one tuple satisfying predicate) via world enumeration."""
+    total = 0.0
+    for world in db.possible_worlds():
+        if any(value_predicate(t) for t in world):
+            total += world.probability
+    return total
+
+
+class TestScan:
+    def test_scan_row_count(self, db):
+        engine = QueryEngine(db)
+        rows = engine.scan()
+        # 1 certain + 2 + 2 block completions.
+        assert len(rows) == 5
+
+    def test_certain_rows_have_true_event(self, db):
+        engine = QueryEngine(db)
+        rows = engine.scan()
+        from repro.probdb import TRUE
+
+        assert rows[0].event is TRUE
+
+    def test_prefix_renames(self, db):
+        engine = QueryEngine(db)
+        rows = engine.scan(prefix="l_")
+        assert rows[0].attributes == ("l_age", "l_edu", "l_inc", "l_nw")
+
+
+class TestSelectionQueries:
+    def test_selection_probabilities_match_enumeration(self, db):
+        engine = QueryEngine(db)
+        results = engine.selection_query(
+            lambda r: r.value("nw") == "500K", project_to=["age"]
+        )
+        by_age = {t.values[0]: t.probability for t in results}
+        # Per age value, P(some tuple with that age has nw=500K).
+        for age, p in by_age.items():
+            expected = world_probability_of(
+                db,
+                lambda t, a=age: t.value("age") == a and t.value("nw") == "500K",
+            )
+            assert p == pytest.approx(expected)
+
+    def test_certain_hit_has_probability_one(self, db):
+        engine = QueryEngine(db)
+        results = engine.selection_query(lambda r: r.value("edu") == "BS")
+        assert len(results) == 1
+        assert results[0].probability == pytest.approx(1.0)
+
+    def test_projection_merges_correlated_rows(self, db):
+        """Both completions of block 0 share age=30: P(age=30 exists)=1."""
+        engine = QueryEngine(db)
+        results = engine.selection_query(
+            lambda r: r.value("age") == "30", project_to=["age"]
+        )
+        assert len(results) == 1
+        assert results[0].probability == pytest.approx(1.0)
+
+    def test_empty_result(self, db):
+        engine = QueryEngine(db)
+        assert engine.selection_query(lambda r: False) == []
+
+    def test_results_sorted_by_probability(self, db):
+        engine = QueryEngine(db)
+        results = engine.selection_query(lambda r: True, project_to=["inc"])
+        probs = [t.probability for t in results]
+        assert probs == sorted(probs, reverse=True)
+
+
+class TestJoins:
+    def test_self_join_respects_block_consistency(self, db):
+        """Joining a block's completions with themselves must not mix outcomes.
+
+        An extensional engine would multiply the two completions'
+        probabilities (0.6 * 0.4) and report a spurious pair; the lineage
+        engine folds contradictory choices to FALSE.
+        """
+        engine = QueryEngine(db)
+        results = engine.self_join_query(
+            on=[("age", "age")],
+            predicate=lambda r: r.value("l_age") == "30"
+            and r.value("l_nw") != r.value("r_nw"),
+        )
+        # Only block 0 has age=30; its two completions have different nw but
+        # can never coexist in one world.
+        assert results == []
+
+    def test_self_join_equal_rows(self, db):
+        engine = QueryEngine(db)
+        results = engine.self_join_query(
+            on=[("age", "age"), ("nw", "nw")],
+            predicate=lambda r: r.value("l_age") == "30",
+            project_to=["l_nw"],
+        )
+        by_nw = {t.values[0]: t.probability for t in results}
+        assert by_nw[("100K")] == pytest.approx(0.6)
+        assert by_nw[("500K")] == pytest.approx(0.4)
+
+    def test_join_across_blocks_multiplies(self, db):
+        engine = QueryEngine(db)
+        left = engine.scan(prefix="l_")
+        right = engine.scan(prefix="r_")
+        rows = engine.join(left, right, on=[("l_nw", "r_nw")])
+        rows = engine.select(
+            rows,
+            lambda r: r.value("l_age") == "30" and r.value("r_age") == "40",
+        )
+        results = engine.evaluate(rows)
+        # Only block 0's 500K completion (p=0.4) joins block 1, whose nw is
+        # always 500K; the pair splits over block 1's two inc choices.
+        probs = sorted(t.probability for t in results)
+        assert probs == pytest.approx([0.4 * 0.3, 0.4 * 0.7])
+        assert sum(probs) == pytest.approx(0.4)
+
+    def test_join_requires_on(self, db):
+        engine = QueryEngine(db)
+        with pytest.raises(ValueError):
+            engine.join(engine.scan("l_"), engine.scan("r_"), on=[])
+
+
+class TestExpectedCountConsistency:
+    def test_sum_of_membership_probs_is_expected_count(self, db):
+        """Without projection, result probabilities sum to the E[count]."""
+        from repro.probdb import expected_count
+
+        engine = QueryEngine(db)
+        rows = engine.select(
+            engine.scan(), lambda r: r.value("nw") == "500K"
+        )
+        results = engine.evaluate(rows, dedup=False)
+        total = sum(t.probability for t in results)
+        assert total == pytest.approx(
+            expected_count(db, lambda t: t.value("nw") == "500K")
+        )

@@ -1,0 +1,158 @@
+"""Tests for the paper-noted extensions.
+
+Section III: "In practice, the complete portion of incomplete tuples in Ri
+may also be used to discover association rules."  Section IV: "Other voter
+selection mechanisms and voting schemes exist."  Both are implemented as
+opt-in extensions; these tests pin their semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    VoterChoice,
+    VotingScheme,
+    infer_single,
+    learn_mrsl,
+    mine_frequent_itemsets,
+    select_voters,
+)
+from repro.relational import Relation, Schema, make_tuple
+
+
+class TestIncompleteEvidenceMining:
+    def test_incomplete_rows_contribute(self, fig1_relation, fig1_schema):
+        fi = mine_frequent_itemsets(
+            fig1_relation, threshold=0.05, use_incomplete=True
+        )
+        # age=20 appears in 7 of 17 rows (4 points + t1, t3, t5).
+        age20 = ((0, fig1_schema["age"].code("20")),)
+        assert fi.support(age20) == pytest.approx(7 / 17)
+
+    def test_missing_values_never_match(self, fig1_schema):
+        rel = Relation.from_rows(
+            fig1_schema,
+            [["20", "?", "?", "?"], ["?", "?", "?", "?"]],
+        )
+        fi = mine_frequent_itemsets(rel, threshold=0.05, use_incomplete=True)
+        age20 = ((0, fig1_schema["age"].code("20")),)
+        assert fi.support(age20) == pytest.approx(0.5)
+
+    def test_anti_monotone_support_preserved(self, fig1_relation):
+        fi = mine_frequent_itemsets(
+            fig1_relation, threshold=0.05, use_incomplete=True
+        )
+        for itemset in fi:
+            for m in range(len(itemset)):
+                subset = itemset[:m] + itemset[m + 1 :]
+                assert fi.support(subset) >= fi.support(itemset) - 1e-12
+
+    def test_learning_with_incomplete_evidence(self, fig1_relation):
+        base = learn_mrsl(fig1_relation, support_threshold=0.1)
+        extended = learn_mrsl(
+            fig1_relation, support_threshold=0.1, use_incomplete_evidence=True
+        )
+        # Both produce valid models; the extended one sees 17 rows not 8.
+        assert extended.itemsets.num_points == 17
+        assert base.itemsets.num_points == 8
+        for lattice in extended.model:
+            for m in lattice:
+                assert np.isclose(m.probs.sum(), 1.0)
+                assert (m.probs > 0).all()
+
+    def test_incomplete_evidence_changes_the_evidence_base(self):
+        """With 2 points and many partial rows, estimates use all 22 rows."""
+        schema = Schema.from_domains(
+            {"a": ["x", "y"], "b": ["x", "y"], "c": ["x", "y"]}
+        )
+        rows = [["x", "x", "x"], ["y", "y", "y"]]
+        rows += [["x", "x", "?"]] * 10 + [["y", "y", "?"]] * 10
+        rel = Relation.from_rows(schema, rows)
+        base = mine_frequent_itemsets(rel.complete_part(), threshold=0.2)
+        extended = mine_frequent_itemsets(
+            rel, threshold=0.2, use_incomplete=True
+        )
+        ax = ((0, 0),)          # a=x
+        axbx = ((0, 0), (1, 0))  # a=x ^ b=x
+        # Base sees 1-of-2 points; extended sees 11-of-22 rows.
+        assert base.support(ax) == pytest.approx(1 / 2)
+        assert extended.support(ax) == pytest.approx(11 / 22)
+        assert extended.support(axbx) == pytest.approx(11 / 22)
+        # The conservative denominator penalizes the often-missing c: its
+        # items fall below threshold in the extended mining.
+        cx = ((2, 0),)
+        assert base.support(cx) == pytest.approx(1 / 2)
+        assert cx not in extended
+
+
+class TestRootVoterChoice:
+    @pytest.fixture
+    def model(self, fig1_relation):
+        return learn_mrsl(fig1_relation, support_threshold=0.1).model
+
+    def test_root_choice_returns_marginal(self, model, fig1_schema):
+        t = make_tuple(fig1_schema, {"edu": "HS", "inc": "50K"})
+        cpd = infer_single(t, model["age"], VoterChoice.ROOT, "averaged")
+        root = model["age"].root
+        assert np.allclose(cpd.probs, root.probs)
+
+    def test_root_ignores_evidence(self, model, fig1_schema):
+        a = infer_single(
+            make_tuple(fig1_schema, {"edu": "HS"}),
+            model["age"], VoterChoice.ROOT, "averaged",
+        )
+        b = infer_single(
+            make_tuple(fig1_schema, {"edu": "MS", "inc": "100K"}),
+            model["age"], VoterChoice.ROOT, "averaged",
+        )
+        assert np.allclose(a.probs, b.probs)
+
+    def test_select_voters_root(self, model, fig1_schema):
+        t = make_tuple(fig1_schema, {"edu": "HS"})
+        voters = select_voters(model["age"], t, VoterChoice.ROOT)
+        assert len(voters) == 1
+        assert voters[0].body == ()
+
+
+class TestLogPoolScheme:
+    @pytest.fixture
+    def model(self, fig1_relation):
+        return learn_mrsl(fig1_relation, support_threshold=0.1).model
+
+    def test_log_pool_is_valid_cpd(self, model, fig1_schema):
+        t = make_tuple(fig1_schema, {"edu": "HS", "inc": "50K", "nw": "500K"})
+        cpd = infer_single(t, model["age"], "all", VotingScheme.LOG_POOL)
+        assert sum(cpd.probs) == pytest.approx(1.0)
+        assert all(p > 0 for p in cpd.probs)
+
+    def test_log_pool_is_geometric_mean(self, model, fig1_schema):
+        t = make_tuple(fig1_schema, {"edu": "HS", "inc": "50K", "nw": "500K"})
+        matches = model["age"].matching(t)
+        stack = np.vstack([m.probs for m in matches])
+        expected = np.exp(np.log(stack).mean(axis=0))
+        expected = expected / expected.sum()
+        cpd = infer_single(t, model["age"], "all", VotingScheme.LOG_POOL)
+        assert np.allclose(cpd.probs, expected)
+
+    def test_log_pool_punishes_dissent(self):
+        """A single near-zero voter crushes an outcome under the log pool."""
+        from repro.core.inference import _combine
+        from repro.core.metarule import MetaRule
+
+        confident = MetaRule(0, (), 1.0, np.array([0.9, 0.1]))
+        dissent = MetaRule(0, ((1, 0),), 0.5, np.array([1e-5, 1.0 - 1e-5]))
+        linear = _combine([confident, dissent], 2, VotingScheme.AVERAGED)
+        log_pool = _combine([confident, dissent], 2, VotingScheme.LOG_POOL)
+        assert linear[0] == pytest.approx(0.45, abs=0.01)
+        assert log_pool[0] < 0.01
+
+    def test_log_pool_in_gibbs(self, fig1_relation, fig1_schema):
+        from repro.core import estimate_joint
+
+        model = learn_mrsl(fig1_relation, support_threshold=0.1).model
+        t = make_tuple(fig1_schema, {"age": "30", "edu": "MS"})
+        block = estimate_joint(
+            model, t, num_samples=100, burn_in=10,
+            v_scheme=VotingScheme.LOG_POOL, rng=0,
+        )
+        assert sum(block.distribution.probs) == pytest.approx(1.0)

@@ -1,0 +1,112 @@
+"""Unit tests for Factor algebra."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import Factor
+
+
+@pytest.fixture
+def phi_ab():
+    return Factor(("a", "b"), np.array([[0.1, 0.2], [0.3, 0.4]]))
+
+
+@pytest.fixture
+def phi_bc():
+    return Factor(("b", "c"), np.array([[0.5, 0.5], [0.9, 0.1]]))
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="axes"):
+            Factor(("a",), np.zeros((2, 2)))
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Factor(("a", "a"), np.zeros((2, 2)))
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Factor(("a",), np.array([-1.0, 2.0]))
+
+    def test_cardinality(self, phi_ab):
+        assert phi_ab.cardinality("a") == 2
+        assert phi_ab.cardinality("b") == 2
+
+
+class TestMultiply:
+    def test_product_scope_is_union(self, phi_ab, phi_bc):
+        prod = phi_ab.multiply(phi_bc)
+        assert set(prod.variables) == {"a", "b", "c"}
+        assert prod.table.shape == (2, 2, 2)
+
+    def test_product_values(self, phi_ab, phi_bc):
+        prod = phi_ab.multiply(phi_bc)
+        idx = {v: i for i, v in enumerate(prod.variables)}
+        sel = [0, 0, 0]
+        sel[idx["a"]], sel[idx["b"]], sel[idx["c"]] = 1, 0, 1
+        assert prod.table[tuple(sel)] == pytest.approx(0.3 * 0.5)
+
+    def test_multiply_disjoint_scopes(self):
+        f = Factor(("a",), np.array([1.0, 2.0]))
+        g = Factor(("b",), np.array([3.0, 4.0]))
+        prod = f.multiply(g)
+        assert prod.table.shape == (2, 2)
+        assert prod.table[1, 0] == pytest.approx(6.0)
+
+    def test_multiply_is_commutative(self, phi_ab, phi_bc):
+        p = phi_ab.multiply(phi_bc)
+        q = phi_bc.multiply(phi_ab).transpose(p.variables)
+        assert np.allclose(p.table, q.table)
+
+
+class TestMarginalize:
+    def test_marginalize_sums_axis(self, phi_ab):
+        m = phi_ab.marginalize("b")
+        assert m.variables == ("a",)
+        assert np.allclose(m.table, [0.3, 0.7])
+
+    def test_marginalize_unknown_variable(self, phi_ab):
+        with pytest.raises(ValueError):
+            phi_ab.marginalize("z")
+
+    def test_marginalize_all_but(self, phi_ab, phi_bc):
+        prod = phi_ab.multiply(phi_bc)
+        kept = prod.marginalize_all_but(["c"])
+        assert kept.variables == ("c",)
+        assert kept.table.sum() == pytest.approx(prod.table.sum())
+
+
+class TestReduce:
+    def test_reduce_drops_axis(self, phi_ab):
+        r = phi_ab.reduce({"a": 1})
+        assert r.variables == ("b",)
+        assert np.allclose(r.table, [0.3, 0.4])
+
+    def test_reduce_multiple(self, phi_ab):
+        r = phi_ab.reduce({"a": 0, "b": 1})
+        assert r.variables == ()
+        assert r.table == pytest.approx(0.2)
+
+    def test_reduce_ignores_unrelated_evidence(self, phi_ab):
+        r = phi_ab.reduce({"z": 0})
+        assert r.variables == ("a", "b")
+
+
+class TestNormalizeTranspose:
+    def test_normalized_sums_to_one(self, phi_ab):
+        assert phi_ab.normalized().table.sum() == pytest.approx(1.0)
+
+    def test_normalize_zero_factor_rejected(self):
+        f = Factor(("a",), np.zeros(2))
+        with pytest.raises(ValueError):
+            f.normalized()
+
+    def test_transpose_permutes(self, phi_ab):
+        t = phi_ab.transpose(("b", "a"))
+        assert t.variables == ("b", "a")
+        assert t.table[0, 1] == pytest.approx(phi_ab.table[1, 0])
+
+    def test_transpose_requires_permutation(self, phi_ab):
+        with pytest.raises(ValueError):
+            phi_ab.transpose(("a", "z"))

@@ -1,0 +1,108 @@
+"""Integration tests for the Section VI experimental framework.
+
+These run the full pipeline at reduced scale and assert the qualitative
+findings of the paper rather than absolute numbers.
+"""
+
+import pytest
+
+from repro.bench import (
+    ALL_VOTING_METHODS,
+    ExperimentConfig,
+    run_learning_experiment,
+    run_multi_attribute_experiment,
+    run_single_attribute_experiment,
+)
+from repro.core import VoterChoice, VotingScheme
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return ExperimentConfig(
+        training_size=2000,
+        support_threshold=0.01,
+        num_instances=1,
+        num_splits=1,
+        max_test_tuples=40,
+        seed=11,
+    )
+
+
+class TestLearningExperiment:
+    def test_learning_run_fields(self, quick_config):
+        run = run_learning_experiment("BN8", quick_config)
+        assert run.network == "BN8"
+        assert run.learn_time_sec > 0
+        assert run.model_size > 0
+
+    def test_more_data_does_not_shrink_model(self, quick_config):
+        small = run_learning_experiment(
+            "BN8", quick_config.scaled(training_size=500)
+        )
+        large = run_learning_experiment(
+            "BN8", quick_config.scaled(training_size=4000)
+        )
+        # Fig. 4: model size stays roughly constant with training size, but
+        # sampling noise at tiny sizes can only drop rules below threshold.
+        assert large.model_size >= small.model_size * 0.5
+
+    def test_higher_support_smaller_model(self, quick_config):
+        low = run_learning_experiment(
+            "BN9", quick_config.scaled(support_threshold=0.005)
+        )
+        high = run_learning_experiment(
+            "BN9", quick_config.scaled(support_threshold=0.2)
+        )
+        assert high.model_size < low.model_size
+
+
+class TestSingleAttributeExperiment:
+    def test_returns_all_methods(self, quick_config):
+        runs = run_single_attribute_experiment("BN8", quick_config)
+        assert set(runs) == set(ALL_VOTING_METHODS)
+
+    def test_accuracy_above_random(self, quick_config):
+        runs = run_single_attribute_experiment("BN8", quick_config)
+        best = runs[(VoterChoice.BEST, VotingScheme.AVERAGED)]
+        # BN8 has cardinality 2: random top-1 is 0.5.
+        assert best.score.top1_accuracy > 0.6
+        assert best.score.mean_kl < 0.5
+
+    def test_best_methods_no_worse_than_all(self, quick_config):
+        """The Table II finding at 'enough training data'."""
+        cfg = quick_config.scaled(training_size=5000, max_test_tuples=60)
+        runs = run_single_attribute_experiment("BN8", cfg)
+        best_avg = runs[(VoterChoice.BEST, VotingScheme.AVERAGED)].score.mean_kl
+        all_wgt = runs[(VoterChoice.ALL, VotingScheme.WEIGHTED)].score.mean_kl
+        assert best_avg <= all_wgt + 0.02
+
+    def test_scores_counted(self, quick_config):
+        runs = run_single_attribute_experiment("BN8", quick_config)
+        for run in runs.values():
+            assert run.score.count == 40
+
+
+class TestMultiAttributeExperiment:
+    def test_multi_run_fields(self, quick_config):
+        run = run_multi_attribute_experiment(
+            "BN8", quick_config.scaled(max_test_tuples=20),
+            num_missing=2, num_samples=200, burn_in=40,
+        )
+        assert run.num_missing == 2
+        assert run.stats.total_draws > 0
+        assert run.score.count == 20
+
+    def test_dag_not_less_accurate_than_baseline(self, quick_config):
+        cfg = quick_config.scaled(max_test_tuples=20)
+        dag = run_multi_attribute_experiment(
+            "BN8", cfg, num_missing=2, num_samples=400, burn_in=50,
+            strategy="tuple_dag",
+        )
+        base = run_multi_attribute_experiment(
+            "BN8", cfg, num_missing=2, num_samples=400, burn_in=50,
+            strategy="tuple_at_a_time",
+        )
+        # Fig. 11's companion claim: "no difference" in accuracy.
+        assert abs(dag.score.mean_kl - base.score.mean_kl) < 0.15
+        # And the DAG draws no more samples.
+        assert dag.stats.total_draws <= base.stats.total_draws

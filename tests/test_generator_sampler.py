@@ -1,0 +1,99 @@
+"""Unit tests for the BN instance generator and forward sampler."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import (
+    forward_sample_codes,
+    forward_sample_relation,
+    generate_instance,
+    line_topology,
+    crown_topology,
+)
+
+
+@pytest.fixture
+def line3():
+    return line_topology([2, 3, 4])
+
+
+class TestGenerator:
+    def test_structure_matches_topology(self, line3, rng):
+        net = generate_instance(line3, rng)
+        assert net.names == ("x0", "x1", "x2")
+        assert net["x1"].parents == ("x0",)
+        assert net["x2"].cardinality == 4
+
+    def test_cpt_rows_are_distributions(self, line3, rng):
+        net = generate_instance(line3, rng)
+        for v in net:
+            sums = v.cpt.sum(axis=-1)
+            assert np.allclose(sums, 1.0)
+            assert (v.cpt >= 0).all()
+
+    def test_different_rngs_give_different_instances(self, line3):
+        a = generate_instance(line3, np.random.default_rng(1))
+        b = generate_instance(line3, np.random.default_rng(2))
+        assert not np.allclose(a["x0"].cpt, b["x0"].cpt)
+
+    def test_same_seed_reproducible(self, line3):
+        a = generate_instance(line3, np.random.default_rng(5))
+        b = generate_instance(line3, np.random.default_rng(5))
+        for name in a.names:
+            assert np.allclose(a[name].cpt, b[name].cpt)
+
+    def test_low_concentration_is_skewed(self, line3):
+        net = generate_instance(
+            line3, np.random.default_rng(0), concentration=0.05
+        )
+        # With alpha=0.05 nearly all rows put most mass on one value.
+        maxima = [v.cpt.max(axis=-1).mean() for v in net]
+        assert np.mean(maxima) > 0.8
+
+    def test_bad_concentration_rejected(self, line3, rng):
+        with pytest.raises(ValueError):
+            generate_instance(line3, rng, concentration=0.0)
+
+
+class TestSampler:
+    def test_sample_shape_and_ranges(self, line3, rng):
+        net = generate_instance(line3, rng)
+        codes = forward_sample_codes(net, 100, rng)
+        assert codes.shape == (100, 3)
+        for col, card in enumerate([2, 3, 4]):
+            assert codes[:, col].min() >= 0
+            assert codes[:, col].max() < card
+
+    def test_zero_samples(self, line3, rng):
+        net = generate_instance(line3, rng)
+        assert forward_sample_codes(net, 0, rng).shape == (0, 3)
+
+    def test_negative_samples_rejected(self, line3, rng):
+        net = generate_instance(line3, rng)
+        with pytest.raises(ValueError):
+            forward_sample_codes(net, -1, rng)
+
+    def test_root_marginal_converges(self, chain_network, rng):
+        codes = forward_sample_codes(chain_network, 20000, rng)
+        freq = (codes[:, 0] == 0).mean()
+        assert freq == pytest.approx(0.7, abs=0.02)
+
+    def test_conditional_frequencies_converge(self, chain_network, rng):
+        codes = forward_sample_codes(chain_network, 20000, rng)
+        mask = codes[:, 0] == 0
+        freq = (codes[mask, 1] == 0).mean()
+        # P(b=0 | a=0) = 0.9
+        assert freq == pytest.approx(0.9, abs=0.02)
+
+    def test_relation_output_is_complete(self, chain_network, rng):
+        rel = forward_sample_relation(chain_network, 50, rng)
+        assert len(rel) == 50
+        assert rel.num_complete == 50
+        assert rel.schema.names == ("a", "b", "c")
+
+    def test_crown_sampling_covers_all_columns(self, rng):
+        net = generate_instance(crown_topology([2] * 6), rng)
+        codes = forward_sample_codes(net, 500, rng)
+        # Every column should show both values at this sample size for
+        # typical draws (CPTs are strictly positive almost surely).
+        assert codes.shape == (500, 6)

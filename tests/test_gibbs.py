@@ -1,0 +1,115 @@
+"""Unit tests for ordered Gibbs sampling over MRSL models."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import forward_sample_relation, make_network
+from repro.bench.metrics import true_joint_posterior
+from repro.core import GibbsSampler, estimate_joint, learn_mrsl
+from repro.core.gibbs import samples_to_distribution
+from repro.relational import make_tuple
+
+
+@pytest.fixture
+def bn8_setup(rng):
+    net = make_network("BN8", rng)
+    data = forward_sample_relation(net, 6000, rng)
+    model = learn_mrsl(data, support_threshold=0.005).model
+    return net, data.schema, model
+
+
+class TestChainMechanics:
+    def test_chain_requires_incomplete_tuple(self, bn8_setup):
+        net, schema, model = bn8_setup
+        sampler = GibbsSampler(model, rng=0)
+        point = make_tuple(schema, ["v0"] * 4)
+        with pytest.raises(ValueError, match="incomplete"):
+            sampler.chain(point)
+
+    def test_observed_attributes_stay_clamped(self, bn8_setup):
+        net, schema, model = bn8_setup
+        sampler = GibbsSampler(model, rng=0)
+        t = make_tuple(schema, {"x0": "v1", "x1": "v0"})
+        chain = sampler.chain(t)
+        for _ in range(20):
+            chain.sweep()
+            assert chain.state[0] == 1
+            assert chain.state[1] == 0
+
+    def test_step_returns_missing_codes(self, bn8_setup):
+        net, schema, model = bn8_setup
+        sampler = GibbsSampler(model, rng=0)
+        t = make_tuple(schema, {"x0": "v1", "x1": "v0"})
+        chain = sampler.chain(t)
+        sample = chain.step()
+        assert len(sample) == 2
+        assert all(0 <= v < 2 for v in sample)
+
+    def test_cache_hit_reduces_evaluations(self, bn8_setup):
+        net, schema, model = bn8_setup
+        sampler = GibbsSampler(model, rng=0)
+        t = make_tuple(schema, {"x0": "v1", "x1": "v0"})
+        chain = sampler.chain(t)
+        for _ in range(200):
+            chain.sweep()
+        # The conditioning space here has at most 2 attrs x 2 states x
+        # 2 values = 8 distinct CPD queries; the cache must absorb the rest.
+        assert sampler.cpd_evaluations <= 8
+        assert sampler.steps == 400
+
+    def test_conditional_probs_positive(self, bn8_setup):
+        net, schema, model = bn8_setup
+        sampler = GibbsSampler(model, rng=0)
+        codes = np.array([0, 0, 0, 0], dtype=np.int32)
+        for attr in range(4):
+            probs = sampler.conditional_probs(codes, attr)
+            assert (probs > 0).all()
+            assert probs.sum() == pytest.approx(1.0)
+
+
+class TestSamplesToDistribution:
+    def test_dense_space_covers_all_outcomes(self, fig1_schema):
+        base = make_tuple(fig1_schema, {"age": "20", "edu": "HS"})
+        samples = [(0, 0), (0, 0), (1, 1), (0, 1)]
+        dist = samples_to_distribution(fig1_schema, base, samples)
+        # inc x nw = 4 outcomes, all present with positive probability.
+        assert len(dist) == 4
+        assert all(p > 0 for p in dist.probs)
+        assert dist[("50K", "100K")] == pytest.approx(0.5, abs=1e-4)
+
+    def test_empty_samples_rejected(self, fig1_schema):
+        base = make_tuple(fig1_schema, {"age": "20"})
+        with pytest.raises(ValueError):
+            samples_to_distribution(fig1_schema, base, [])
+
+    def test_outcomes_are_value_tuples(self, fig1_schema):
+        base = make_tuple(fig1_schema, {"age": "20", "edu": "HS", "nw": "500K"})
+        dist = samples_to_distribution(fig1_schema, base, [(1,)])
+        assert dist.top1() == ("100K",)
+
+
+class TestConvergence:
+    def test_joint_estimate_tracks_true_posterior(self, bn8_setup):
+        """Gibbs over a well-trained MRSL approximates the BN posterior."""
+        net, schema, model = bn8_setup
+        t = make_tuple(schema, {"x0": "v0", "x1": "v1"})
+        block = estimate_joint(
+            model, t, num_samples=3000, burn_in=200, rng=1
+        )
+        true = true_joint_posterior(net, t)
+        kl = true.kl_divergence(block.distribution)
+        assert kl < 0.12, f"KL {kl} too large: sampler not converging"
+
+    def test_estimate_reproducible_with_seed(self, bn8_setup):
+        net, schema, model = bn8_setup
+        t = make_tuple(schema, {"x0": "v0"})
+        a = estimate_joint(model, t, num_samples=300, burn_in=50, rng=7)
+        b = estimate_joint(model, t, num_samples=300, burn_in=50, rng=7)
+        assert np.allclose(a.distribution.probs, b.distribution.probs)
+
+    def test_block_base_is_input_tuple(self, bn8_setup):
+        net, schema, model = bn8_setup
+        t = make_tuple(schema, {"x0": "v0"})
+        block = estimate_joint(model, t, num_samples=100, burn_in=10, rng=0)
+        assert block.base == t
+        assert block.missing_names == ("x1", "x2", "x3")

@@ -1,0 +1,78 @@
+"""Unit tests for CSV import/export."""
+
+import pytest
+
+from repro.relational import (
+    MISSING,
+    Relation,
+    Schema,
+    SchemaError,
+    infer_schema,
+    read_csv,
+    write_csv,
+)
+
+
+@pytest.fixture
+def csv_path(tmp_path, fig1_relation):
+    path = tmp_path / "fig1.csv"
+    write_csv(fig1_relation, path)
+    return path
+
+
+class TestWriteRead:
+    def test_roundtrip_with_explicit_schema(self, csv_path, fig1_schema, fig1_relation):
+        back = read_csv(csv_path, schema=fig1_schema)
+        assert len(back) == len(fig1_relation)
+        assert list(back) == list(fig1_relation)
+
+    def test_missing_serialized_as_question_mark(self, csv_path):
+        text = csv_path.read_text()
+        assert "?" in text
+        assert text.splitlines()[0] == "age,edu,inc,nw"
+
+    def test_roundtrip_with_inferred_schema(self, csv_path, fig1_relation):
+        back = read_csv(csv_path)
+        assert len(back) == len(fig1_relation)
+        # Inferred domains are sorted, so supports must still agree.
+        assert back.num_complete == fig1_relation.num_complete
+
+    def test_header_mismatch_raises(self, csv_path):
+        wrong = Schema.from_domains({"a": ["1"], "b": ["1"], "c": ["1"], "d": ["1"]})
+        with pytest.raises(SchemaError, match="header"):
+            read_csv(csv_path, schema=wrong)
+
+
+class TestInferSchema:
+    def test_inferred_domains_exclude_missing(self, csv_path):
+        schema = infer_schema(csv_path)
+        for attr in schema:
+            assert MISSING not in attr.domain
+
+    def test_inferred_domains_are_sorted(self, csv_path):
+        schema = infer_schema(csv_path)
+        assert schema["age"].domain == ("20", "30", "40")
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            infer_schema(path)
+
+    def test_all_missing_column_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,?\n2,?\n")
+        with pytest.raises(SchemaError, match="no known values"):
+            infer_schema(path)
+
+    def test_ragged_row_raises(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(SchemaError, match="fields"):
+            infer_schema(path)
+
+    def test_custom_delimiter(self, tmp_path, fig1_relation):
+        path = tmp_path / "semi.csv"
+        write_csv(fig1_relation, path, delimiter=";")
+        back = read_csv(path, delimiter=";")
+        assert len(back) == len(fig1_relation)

@@ -1,0 +1,122 @@
+"""Unit tests for primary-/foreign-key joins across relations."""
+
+import pytest
+
+from repro.relational import (
+    MISSING,
+    Relation,
+    Schema,
+    SchemaError,
+    pk_fk_join,
+)
+
+
+@pytest.fixture
+def profiles():
+    schema = Schema.from_domains(
+        {
+            "age": ["20", "30"],
+            "city": ["NYC", "PHL", "SFO"],
+        }
+    )
+    return Relation.from_rows(
+        schema,
+        [
+            ["20", "NYC"],
+            ["30", "?"],      # missing FK
+            ["20", "SFO"],    # dangling FK (no SFO row on the right)
+            ["?", "PHL"],
+        ],
+    )
+
+
+@pytest.fixture
+def cities():
+    schema = Schema.from_domains(
+        {
+            "city": ["PHL", "NYC"],  # note: different domain order
+            "coast": ["east", "west"],
+            "size": ["big", "small"],
+        }
+    )
+    return Relation.from_rows(
+        schema,
+        [
+            ["NYC", "east", "big"],
+            ["PHL", "east", "?"],   # non-key values may be missing
+        ],
+    )
+
+
+class TestJoin:
+    def test_result_schema(self, profiles, cities):
+        joined = pk_fk_join(profiles, cities, "city", "city", drop_key=True,
+                            prefix="c_")
+        assert joined.schema.names == ("age", "city", "c_coast", "c_size")
+
+    def test_matched_rows_copy_right_values(self, profiles, cities):
+        joined = pk_fk_join(profiles, cities, "city", "city", drop_key=True,
+                            prefix="c_")
+        row0 = joined[0]
+        assert row0.value("c_coast") == "east"
+        assert row0.value("c_size") == "big"
+
+    def test_matching_is_by_value_not_code(self, profiles, cities):
+        # "PHL" has code 1 on the left and code 0 on the right; the join
+        # must match values.
+        joined = pk_fk_join(profiles, cities, "city", "city", drop_key=True,
+                            prefix="c_")
+        row3 = joined[3]
+        assert row3.value("city") == "PHL"
+        assert row3.value("c_coast") == "east"
+
+    def test_missing_fk_yields_missing_right(self, profiles, cities):
+        joined = pk_fk_join(profiles, cities, "city", "city", drop_key=True,
+                            prefix="c_")
+        row1 = joined[1]
+        assert row1.value("c_coast") == MISSING
+        assert row1.value("c_size") == MISSING
+
+    def test_dangling_fk_yields_missing_right(self, profiles, cities):
+        joined = pk_fk_join(profiles, cities, "city", "city", drop_key=True,
+                            prefix="c_")
+        row2 = joined[2]
+        assert row2.value("city") == "SFO"
+        assert row2.value("c_coast") == MISSING
+
+    def test_right_missing_values_propagate(self, profiles, cities):
+        joined = pk_fk_join(profiles, cities, "city", "city", drop_key=True,
+                            prefix="c_")
+        assert joined[3].value("c_size") == MISSING
+
+    def test_keep_key_column(self, profiles, cities):
+        joined = pk_fk_join(profiles, cities, "city", "city", prefix="c_")
+        assert "c_city" in joined.schema
+        assert joined[0].value("c_city") == "NYC"
+
+    def test_name_collision_rejected(self, profiles, cities):
+        with pytest.raises(SchemaError, match="collision"):
+            pk_fk_join(profiles, cities, "city", "city")
+
+    def test_duplicate_pk_rejected(self, profiles):
+        schema = Schema.from_domains({"city": ["NYC"], "x": ["a", "b"]})
+        dup = Relation.from_rows(schema, [["NYC", "a"], ["NYC", "b"]])
+        with pytest.raises(SchemaError, match="not unique"):
+            pk_fk_join(profiles, dup, "city", "city", prefix="r_")
+
+    def test_missing_pk_rejected(self, profiles):
+        schema = Schema.from_domains({"city": ["NYC"], "x": ["a"]})
+        bad = Relation.from_rows(schema, [["?", "a"]])
+        with pytest.raises(SchemaError, match="missing values"):
+            pk_fk_join(profiles, bad, "city", "city", prefix="r_")
+
+    def test_joined_relation_feeds_learning(self, profiles, cities):
+        """The Section I-B use case: mine cross-relation correlations."""
+        from repro.core import learn_mrsl
+
+        joined = pk_fk_join(profiles, cities, "city", "city", drop_key=True,
+                            prefix="c_")
+        result = learn_mrsl(joined, support_threshold=0.2)
+        # The coast attribute's lattice exists and can host cross-relation
+        # bodies like {age=...}.
+        assert result.model["c_coast"] is not None

@@ -1,0 +1,62 @@
+"""Unit tests for test-set masking."""
+
+import numpy as np
+import pytest
+
+from repro.bench import mask_relation, mask_tuple
+
+
+class TestMaskTuple:
+    def test_masks_exact_count(self, fig1_relation, rng):
+        point = fig1_relation.complete_part()[0]
+        for k in (1, 2, 3, 4):
+            masked = mask_tuple(point, k, rng)
+            assert masked.num_missing == k
+
+    def test_known_values_preserved(self, fig1_relation, rng):
+        point = fig1_relation.complete_part()[0]
+        masked = mask_tuple(point, 2, rng)
+        for pos in masked.complete_positions:
+            assert masked.codes[pos] == point.codes[pos]
+
+    def test_bounds_enforced(self, fig1_relation, rng):
+        point = fig1_relation.complete_part()[0]
+        with pytest.raises(ValueError):
+            mask_tuple(point, 0, rng)
+        with pytest.raises(ValueError):
+            mask_tuple(point, 5, rng)
+
+    def test_positions_vary(self, fig1_relation):
+        point = fig1_relation.complete_part()[0]
+        rng = np.random.default_rng(0)
+        seen = {mask_tuple(point, 1, rng).missing_positions for _ in range(50)}
+        # All four positions should be hit over 50 uniform draws.
+        assert len(seen) == 4
+
+
+class TestMaskRelation:
+    def test_fixed_count(self, fig1_relation, rng):
+        complete = fig1_relation.complete_part()
+        masked = mask_relation(complete, 2, rng)
+        assert len(masked) == len(complete)
+        assert all(t.num_missing == 2 for t in masked)
+
+    def test_count_choices(self, fig1_relation, rng):
+        complete = fig1_relation.complete_part()
+        masked = mask_relation(complete, [1, 3], rng)
+        assert all(t.num_missing in (1, 3) for t in masked)
+
+    def test_empty_choice_rejected(self, fig1_relation, rng):
+        with pytest.raises(ValueError):
+            mask_relation(fig1_relation.complete_part(), [], rng)
+
+    def test_uniform_attribute_selection(self, fig1_relation):
+        complete = fig1_relation.complete_part()
+        rng = np.random.default_rng(1)
+        counts = np.zeros(4)
+        for _ in range(200):
+            masked = mask_relation(complete, 1, rng)
+            for t in masked:
+                counts[t.missing_positions[0]] += 1
+        freq = counts / counts.sum()
+        assert np.allclose(freq, 0.25, atol=0.05)

@@ -1,0 +1,129 @@
+"""Tests for MAR/MNAR masking mechanisms and inference explanations."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import forward_sample_relation, make_network
+from repro.bench import mask_relation_mar, mask_relation_mnar
+from repro.core import VoterChoice, VotingScheme, explain_single, infer_single, learn_mrsl
+from repro.relational import MISSING_CODE, make_tuple
+
+
+@pytest.fixture(scope="module")
+def complete_data():
+    rng = np.random.default_rng(2)
+    net = make_network("BN9", rng)
+    return forward_sample_relation(net, 4000, rng)
+
+
+class TestMAR:
+    def test_only_target_is_masked(self, complete_data, rng):
+        masked = mask_relation_mar(complete_data, "x3", "x0", rng)
+        codes = masked.codes
+        for col in range(6):
+            if masked.schema[col].name != "x3":
+                assert (codes[:, col] != MISSING_CODE).all()
+
+    def test_rate_depends_on_trigger(self, complete_data):
+        rng = np.random.default_rng(9)
+        masked = mask_relation_mar(
+            complete_data, "x3", "x0", rng, high_rate=0.6, low_rate=0.05
+        )
+        codes = masked.codes
+        orig = complete_data.codes
+        x0 = masked.schema.index("x0")
+        x3 = masked.schema.index("x3")
+        triggered = orig[:, x0] == 0
+        rate_triggered = (codes[triggered, x3] == MISSING_CODE).mean()
+        rate_other = (codes[~triggered, x3] == MISSING_CODE).mean()
+        assert rate_triggered == pytest.approx(0.6, abs=0.05)
+        assert rate_other == pytest.approx(0.05, abs=0.03)
+
+    def test_same_attribute_rejected(self, complete_data, rng):
+        with pytest.raises(ValueError, match="different"):
+            mask_relation_mar(complete_data, "x0", "x0", rng)
+
+    def test_rate_bounds(self, complete_data, rng):
+        with pytest.raises(ValueError):
+            mask_relation_mar(complete_data, "x3", "x0", rng, high_rate=1.5)
+
+
+class TestMNAR:
+    def test_rate_depends_on_value(self, complete_data):
+        rng = np.random.default_rng(10)
+        masked = mask_relation_mnar(
+            complete_data, "x3", rng, rates=[0.0, 0.7]
+        )
+        orig = complete_data.codes
+        x3 = masked.schema.index("x3")
+        was_one = orig[:, x3] == 1
+        dropped = masked.codes[:, x3] == MISSING_CODE
+        assert (dropped & ~was_one).sum() == 0  # value 0 never dropped
+        assert dropped[was_one].mean() == pytest.approx(0.7, abs=0.05)
+
+    def test_default_rates_increase(self, complete_data):
+        rng = np.random.default_rng(11)
+        masked = mask_relation_mnar(complete_data, "x3", rng)
+        assert masked.num_incomplete > 0
+
+    def test_rate_shape_validation(self, complete_data, rng):
+        with pytest.raises(ValueError, match="one rate per"):
+            mask_relation_mnar(complete_data, "x3", rng, rates=[0.5])
+        with pytest.raises(ValueError):
+            mask_relation_mnar(complete_data, "x3", rng, rates=[0.5, 1.4])
+
+    def test_mnar_biases_observed_marginal(self, complete_data):
+        """Dropping one value preferentially skews the complete part —
+        the bias MNAR induces in naive learners."""
+        rng = np.random.default_rng(12)
+        masked = mask_relation_mnar(
+            complete_data, "x3", rng, rates=[0.0, 0.8]
+        )
+        x3 = masked.schema.index("x3")
+        orig_rate = (complete_data.codes[:, x3] == 1).mean()
+        rc = masked.complete_part()
+        observed_rate = (rc.codes[:, x3] == 1).mean()
+        assert observed_rate < orig_rate
+
+
+class TestExplain:
+    @pytest.fixture
+    def model(self, fig1_relation):
+        return learn_mrsl(fig1_relation, support_threshold=0.1).model
+
+    def test_explanation_cpd_matches_inference(self, model, fig1_schema):
+        t = make_tuple(fig1_schema, {"edu": "HS", "inc": "50K", "nw": "500K"})
+        for choice in (VoterChoice.ALL, VoterChoice.BEST):
+            for scheme in (VotingScheme.AVERAGED, VotingScheme.WEIGHTED):
+                exp = explain_single(t, model["age"], choice, scheme)
+                direct = infer_single(t, model["age"], choice, scheme)
+                assert np.allclose(exp.cpd.probs, direct.probs)
+
+    def test_vote_weights_sum_to_one(self, model, fig1_schema):
+        t = make_tuple(fig1_schema, {"edu": "HS"})
+        exp = explain_single(t, model["age"], "all", "weighted")
+        assert sum(exp.vote_weights) == pytest.approx(1.0)
+        assert len(exp.vote_weights) == len(exp.voters)
+
+    def test_describe_is_readable(self, model, fig1_schema):
+        t = make_tuple(fig1_schema, {"edu": "HS"})
+        text = explain_single(t, model["age"], "all", "averaged").describe()
+        assert "P(age)" in text
+        assert "P(age | edu=HS)" in text
+        assert "result:" in text
+
+    def test_uniform_fallback_explained(self, fig1_schema):
+        from repro.relational import Relation
+
+        empty_model = learn_mrsl(
+            Relation(fig1_schema), support_threshold=0.1
+        ).model
+        t = make_tuple(fig1_schema, {"edu": "HS"})
+        exp = explain_single(t, empty_model["age"])
+        assert exp.voters == []
+        assert "uniform fallback" in exp.describe()
+
+    def test_known_head_rejected(self, model, fig1_schema):
+        t = make_tuple(fig1_schema, {"age": "20"})
+        with pytest.raises(ValueError):
+            explain_single(t, model["age"])

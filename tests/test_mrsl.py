@@ -1,0 +1,139 @@
+"""Unit tests for the meta-rule semi-lattice (Defs 2.7-2.9)."""
+
+import numpy as np
+import pytest
+
+from repro.core import learn_mrsl
+from repro.core.metarule import MetaRule
+from repro.core.mrsl import MRSL, MRSLModel
+from repro.relational import make_tuple
+
+
+def mk(head, body, weight=0.5, card=3):
+    probs = np.full(card, 1.0 / card)
+    return MetaRule(head, body, weight, probs)
+
+
+@pytest.fixture
+def age_lattice():
+    """A hand-built MRSL for attribute 0 echoing Fig. 2's shape."""
+    rules = [
+        mk(0, ()),                      # P(age)
+        mk(0, ((1, 0),)),               # P(age | edu=HS)
+        mk(0, ((2, 0),)),               # P(age | inc=50K)
+        mk(0, ((2, 1),)),               # P(age | inc=100K)
+        mk(0, ((3, 1),)),               # P(age | nw=500K)
+        mk(0, ((1, 0), (2, 0))),        # P(age | edu=HS ^ inc=50K)
+    ]
+    return MRSL(0, rules)
+
+
+class TestStructure:
+    def test_len_and_iteration(self, age_lattice):
+        assert len(age_lattice) == 6
+        assert len(list(age_lattice)) == 6
+
+    def test_root_is_empty_body(self, age_lattice):
+        assert age_lattice.root is not None
+        assert age_lattice.root.body == ()
+
+    def test_get_by_body(self, age_lattice):
+        assert age_lattice.get(((1, 0),)) is not None
+        assert age_lattice.get(((9, 9),)) is None
+
+    def test_duplicate_bodies_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MRSL(0, [mk(0, ()), mk(0, ())])
+
+    def test_wrong_head_rejected(self):
+        with pytest.raises(ValueError, match="head attribute"):
+            MRSL(0, [mk(1, ())])
+
+    def test_children_are_one_item_refinements(self, age_lattice):
+        root = age_lattice.root
+        children = age_lattice.children(root)
+        assert {c.body for c in children} == {
+            ((1, 0),),
+            ((2, 0),),
+            ((2, 1),),
+            ((3, 1),),
+        }
+
+    def test_parents(self, age_lattice):
+        deep = age_lattice.get(((1, 0), (2, 0)))
+        parents = age_lattice.parents(deep)
+        assert {p.body for p in parents} == {((1, 0),), ((2, 0),)}
+
+    def test_max_body_size(self, age_lattice):
+        assert age_lattice.max_body_size == 2
+
+
+class TestMatching:
+    def test_paper_matching_example(self, fig1_schema, age_lattice):
+        # t1: <age=?, edu=HS, inc=50K, nw=500K> matches five meta-rules.
+        t1 = make_tuple(
+            fig1_schema, {"edu": "HS", "inc": "50K", "nw": "500K"}
+        )
+        matches = age_lattice.matching(t1)
+        assert len(matches) == 5
+        bodies = {m.body for m in matches}
+        assert () in bodies
+        assert ((1, 0), (2, 0)) in bodies
+        assert ((2, 1),) not in bodies  # inc=100K does not match
+
+    def test_best_matching_is_most_specific(self, fig1_schema, age_lattice):
+        t1 = make_tuple(
+            fig1_schema, {"edu": "HS", "inc": "50K", "nw": "500K"}
+        )
+        best = age_lattice.best_matching(t1)
+        bodies = {m.body for m in best}
+        # The 2-item rule and the unsubsumed nw rule are the most specific.
+        assert bodies == {((1, 0), (2, 0)), ((3, 1),)}
+
+    def test_only_root_matches_value_free_tuple(self, fig1_schema, age_lattice):
+        t = make_tuple(fig1_schema, {})
+        matches = age_lattice.matching(t)
+        assert [m.body for m in matches] == [()]
+
+    def test_head_attribute_value_ignored_in_matching(
+        self, fig1_schema, age_lattice
+    ):
+        # Known head values must not affect the match (they're never in a body).
+        t = make_tuple(fig1_schema, {"age": "30", "edu": "HS"})
+        bodies = {m.body for m in age_lattice.matching(t)}
+        assert bodies == {(), ((1, 0),)}
+
+    def test_most_specific_static(self, age_lattice):
+        root = age_lattice.root
+        leaf = age_lattice.get(((1, 0), (2, 0)))
+        kept = MRSL.most_specific([root, leaf])
+        assert kept == [leaf]
+
+
+class TestModel:
+    @pytest.fixture
+    def model(self, fig1_relation):
+        return learn_mrsl(fig1_relation, support_threshold=0.1).model
+
+    def test_one_lattice_per_attribute(self, model, fig1_schema):
+        assert len(model) == len(fig1_schema)
+        for name in fig1_schema.names:
+            assert model[name].head_attribute == fig1_schema.index(name)
+
+    def test_lookup_by_index_and_name(self, model):
+        assert model[0] is model["age"]
+
+    def test_size_totals_meta_rules(self, model):
+        assert model.size() == sum(len(lat) for lat in model)
+
+    def test_missing_lattice_rejected(self, fig1_schema, model):
+        with pytest.raises(ValueError, match="no semi-lattice"):
+            MRSLModel(fig1_schema, [model[0]])
+
+    def test_duplicate_lattice_rejected(self, fig1_schema, model):
+        with pytest.raises(ValueError, match="duplicate"):
+            MRSLModel(fig1_schema, [model[0], model[0], model[1], model[2], model[3]])
+
+    def test_describe_mentions_attribute_names(self, model, fig1_schema):
+        text = model["age"].describe(fig1_schema)
+        assert "P(age)" in text

@@ -1,0 +1,99 @@
+"""Unit tests for BayesianNetwork structure and validation."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import BayesianNetwork, Variable, network_depth
+
+
+class TestVariable:
+    def test_root_variable(self):
+        v = Variable("a", 3, (), np.array([0.2, 0.3, 0.5]))
+        assert v.cardinality == 3
+        assert v.parents == ()
+
+    def test_cpt_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            Variable("a", 2, (), np.array([0.5, 0.6]))
+
+    def test_cpt_axis_count_must_match_parents(self):
+        with pytest.raises(ValueError, match="axes"):
+            Variable("b", 2, ("a",), np.array([0.5, 0.5]))
+
+    def test_negative_cpt_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Variable("a", 2, (), np.array([1.5, -0.5]))
+
+    def test_cardinality_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("a", 1, (), np.array([1.0]))
+
+    def test_to_factor_scope(self):
+        v = Variable("b", 2, ("a",), np.array([[0.9, 0.1], [0.2, 0.8]]))
+        f = v.to_factor()
+        assert f.variables == ("a", "b")
+
+
+class TestNetwork:
+    def test_chain_structure(self, chain_network):
+        assert len(chain_network) == 3
+        assert chain_network.edges() == [("a", "b"), ("b", "c")]
+        assert chain_network.children("a") == ["b"]
+
+    def test_topological_order_respects_edges(self, chain_network):
+        order = chain_network.order
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_unknown_parent_rejected(self):
+        b = Variable("b", 2, ("zzz",), np.array([[0.5, 0.5], [0.5, 0.5]]))
+        with pytest.raises(ValueError, match="unknown parent"):
+            BayesianNetwork([b])
+
+    def test_parent_cardinality_mismatch_rejected(self):
+        a = Variable("a", 3, (), np.array([0.2, 0.3, 0.5]))
+        b = Variable("b", 2, ("a",), np.array([[0.5, 0.5], [0.5, 0.5]]))
+        with pytest.raises(ValueError, match="axis has size"):
+            BayesianNetwork([a, b])
+
+    def test_cycle_rejected(self):
+        a = Variable("a", 2, ("b",), np.array([[0.5, 0.5], [0.5, 0.5]]))
+        b = Variable("b", 2, ("a",), np.array([[0.5, 0.5], [0.5, 0.5]]))
+        with pytest.raises(ValueError, match="cycle"):
+            BayesianNetwork([a, b])
+
+    def test_duplicate_names_rejected(self):
+        a1 = Variable("a", 2, (), np.array([0.5, 0.5]))
+        a2 = Variable("a", 2, (), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError, match="duplicate"):
+            BayesianNetwork([a1, a2])
+
+    def test_to_schema(self, chain_network):
+        schema = chain_network.to_schema()
+        assert schema.names == ("a", "b", "c")
+        assert schema["a"].domain == ("v0", "v1")
+
+    def test_joint_factor_sums_to_one(self, chain_network):
+        joint = chain_network.joint_factor()
+        assert joint.table.sum() == pytest.approx(1.0)
+
+    def test_joint_factor_matches_hand_computation(self, chain_network):
+        joint = chain_network.joint_factor().transpose(("a", "b", "c"))
+        # P(a=0, b=0, c=0) = 0.7 * 0.9 * 0.6
+        assert joint.table[0, 0, 0] == pytest.approx(0.7 * 0.9 * 0.6)
+        # P(a=1, b=1, c=1) = 0.3 * 0.8 * 0.7
+        assert joint.table[1, 1, 1] == pytest.approx(0.3 * 0.8 * 0.7)
+
+
+class TestDepth:
+    def test_chain_depth_counts_nodes(self, chain_network):
+        assert chain_network.depth() == 3
+
+    def test_edge_free_depth_is_zero(self):
+        assert network_depth([], ["a", "b"]) == 0
+
+    def test_single_edge_depth_is_two(self):
+        assert network_depth([("a", "b")], ["a", "b"]) == 2
+
+    def test_diamond_depth(self):
+        edges = [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        assert network_depth(edges, ["a", "b", "c", "d"]) == 3

@@ -1,0 +1,74 @@
+"""Unit tests for MRSL model persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    infer_single,
+    learn_mrsl,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.relational import make_tuple
+
+
+@pytest.fixture
+def model(fig1_relation):
+    return learn_mrsl(fig1_relation, support_threshold=0.1).model
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_structure(self, model):
+        back = model_from_dict(model_to_dict(model))
+        assert back.schema == model.schema
+        assert back.size() == model.size()
+        for lat, lat2 in zip(model, back):
+            assert lat.head_attribute == lat2.head_attribute
+            assert len(lat) == len(lat2)
+
+    def test_dict_roundtrip_preserves_cpds(self, model):
+        back = model_from_dict(model_to_dict(model))
+        for lat in model:
+            for m in lat:
+                m2 = back[lat.head_attribute].get(m.body)
+                assert m2 is not None
+                assert np.allclose(m.probs, m2.probs)
+                assert m.weight == pytest.approx(m2.weight)
+
+    def test_file_roundtrip(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        back = load_model(path)
+        assert back.size() == model.size()
+
+    def test_file_is_plain_json(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-mrsl"
+        assert data["version"] == 1
+
+    def test_inference_identical_after_reload(self, model, tmp_path, fig1_schema):
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        back = load_model(path)
+        t = make_tuple(fig1_schema, {"edu": "HS", "inc": "50K"})
+        a = infer_single(t, model["age"])
+        b = infer_single(t, back["age"])
+        assert np.allclose(a.probs, b.probs)
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a repro"):
+            model_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self, model):
+        data = model_to_dict(model)
+        data["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            model_from_dict(data)

@@ -1,0 +1,278 @@
+"""Property-based tests on factors, possible worlds and the tuple DAG."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayesnet import Factor
+from repro.core.tuple_dag import TupleDAG
+from repro.probdb import (
+    Distribution,
+    ProbabilisticDatabase,
+    TupleBlock,
+    expected_count,
+    possible_worlds_expected_count,
+)
+from repro.relational import Relation, RelTuple, Schema
+from repro.relational.tuples import MISSING_CODE, proper_subsumes
+
+# -- strategies ------------------------------------------------------------------
+
+var_names = ["a", "b", "c", "d"]
+
+#: Fixed global cardinalities — in real use a variable's cardinality is
+#: consistent across every factor mentioning it.
+VAR_CARDS = {"a": 2, "b": 3, "c": 2, "d": 3}
+
+
+@st.composite
+def factors(draw, max_vars=3):
+    k = draw(st.integers(min_value=1, max_value=max_vars))
+    chosen = draw(
+        st.permutations(var_names).map(lambda p: tuple(p[:k]))
+    )
+    shape = tuple(VAR_CARDS[v] for v in chosen)
+    size = int(np.prod(shape))
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0),
+            min_size=size, max_size=size,
+        )
+    )
+    table = np.asarray(values).reshape(shape)
+    return Factor(chosen, table)
+
+
+@st.composite
+def small_schema(draw):
+    k = draw(st.integers(min_value=2, max_value=3))
+    cards = [draw(st.integers(min_value=2, max_value=3)) for _ in range(k)]
+    return Schema.from_domains(
+        {f"a{i}": [f"v{j}" for j in range(c)] for i, c in enumerate(cards)}
+    )
+
+
+@st.composite
+def incomplete_tuples(draw, schema):
+    codes = []
+    for attr in schema:
+        code = draw(
+            st.integers(min_value=-1, max_value=attr.cardinality - 1)
+        )
+        codes.append(code)
+    if all(c != MISSING_CODE for c in codes):
+        codes[draw(st.integers(min_value=0, max_value=len(codes) - 1))] = (
+            MISSING_CODE
+        )
+    return RelTuple(schema, codes)
+
+
+# -- factor algebra ---------------------------------------------------------------
+
+
+@given(factors(), factors())
+def test_factor_product_commutes(f, g):
+    p = f.multiply(g)
+    q = g.multiply(f).transpose(p.variables)
+    assert np.allclose(p.table, q.table)
+
+
+@given(factors(), factors(), factors())
+@settings(max_examples=50)
+def test_factor_product_associates(f, g, h):
+    p = f.multiply(g).multiply(h)
+    q = f.multiply(g.multiply(h)).transpose(p.variables)
+    assert np.allclose(p.table, q.table)
+
+
+@given(factors(max_vars=3))
+def test_marginalization_order_does_not_matter(f):
+    if len(f.variables) < 2:
+        return
+    v1, v2 = f.variables[0], f.variables[1]
+    a = f.marginalize(v1).marginalize(v2)
+    b = f.marginalize(v2).marginalize(v1)
+    b = b.transpose(a.variables) if a.variables else b
+    assert np.allclose(a.table, b.table)
+
+
+@given(factors())
+def test_total_mass_preserved_by_marginalization(f):
+    out = f
+    for v in list(f.variables):
+        out = out.marginalize(v)
+    assert np.isclose(float(out.table), f.table.sum())
+
+
+@given(factors(max_vars=2))
+def test_reduce_slices_table(f):
+    v = f.variables[0]
+    reduced = f.reduce({v: 0})
+    expected = f.table[0]
+    assert np.allclose(reduced.table, expected)
+
+
+# -- possible-world semantics ----------------------------------------------------
+
+
+@st.composite
+def small_databases(draw):
+    schema = draw(small_schema())
+    num_blocks = draw(st.integers(min_value=0, max_value=3))
+    blocks = []
+    for _ in range(num_blocks):
+        base = draw(incomplete_tuples(schema))
+        from itertools import product as iproduct
+
+        domains = [schema[p].domain for p in base.missing_positions]
+        outcomes = list(iproduct(*domains))
+        weights = [
+            draw(st.floats(min_value=0.05, max_value=1.0))
+            for _ in outcomes
+        ]
+        blocks.append(TupleBlock(base, Distribution(outcomes, weights)))
+    certain_count = draw(st.integers(min_value=0, max_value=2))
+    certain = []
+    for _ in range(certain_count):
+        codes = [
+            draw(st.integers(min_value=0, max_value=attr.cardinality - 1))
+            for attr in schema
+        ]
+        certain.append(RelTuple(schema, codes))
+    return ProbabilisticDatabase(schema, certain, blocks)
+
+
+@given(small_databases())
+@settings(max_examples=40, deadline=None)
+def test_world_probabilities_sum_to_one(db):
+    total = sum(w.probability for w in db.possible_worlds())
+    assert total == pytest.approx(1.0)
+
+
+@given(small_databases(), st.integers(min_value=0, max_value=2))
+@settings(max_examples=40, deadline=None)
+def test_extensional_count_matches_enumeration(db, attr_idx):
+    attr_idx = attr_idx % len(db.schema)
+    name = db.schema[attr_idx].name
+    target = db.schema[attr_idx].domain[0]
+
+    def predicate(t):
+        return t.value(name) == target
+
+    assert expected_count(db, predicate) == pytest.approx(
+        possible_worlds_expected_count(db, predicate)
+    )
+
+
+@given(small_databases())
+@settings(max_examples=30, deadline=None)
+def test_most_probable_world_is_argmax(db):
+    best = db.most_probable_world()
+    for world in db.possible_worlds():
+        assert best.probability >= world.probability - 1e-12
+
+
+# -- tuple DAG structure -----------------------------------------------------------
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_tuple_dag_invariants(data):
+    schema = data.draw(small_schema())
+    n = data.draw(st.integers(min_value=1, max_value=8))
+    tuples = [data.draw(incomplete_tuples(schema)) for _ in range(n)]
+    dag = TupleDAG(tuples)
+
+    # Roots are exactly the nodes not properly subsumed by any other node.
+    node_tuples = [node.tuple for node in dag.nodes]
+    for node in dag.nodes:
+        is_root = not any(
+            proper_subsumes(other, node.tuple)
+            for other in node_tuples
+            if other != node.tuple
+        )
+        assert (node in dag.roots()) == is_root
+
+    # Edges agree with proper subsumption, both directions.
+    for node in dag.nodes:
+        for child in node.children:
+            assert proper_subsumes(node.tuple, child.tuple)
+            assert node in child.parents
+        for parent in node.parents:
+            assert proper_subsumes(parent.tuple, node.tuple)
+
+    # Every non-root is reachable from some root (the promotion guarantee).
+    reachable = set()
+    frontier = list(dag.roots())
+    while frontier:
+        node = frontier.pop()
+        if id(node) in reachable:
+            continue
+        reachable.add(id(node))
+        frontier.extend(node.children)
+    assert len(reachable) == len(dag.nodes)
+
+
+# -- lineage engine vs enumeration ---------------------------------------------------
+
+
+@given(small_databases(), st.integers(min_value=0, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_engine_selection_matches_enumeration(db, salt):
+    """Selection+projection probabilities equal possible-world frequencies."""
+    from repro.probdb import QueryEngine
+
+    attr = db.schema[salt % len(db.schema)].name
+    target = db.schema[attr].domain[salt % db.schema[attr].cardinality]
+
+    engine = QueryEngine(db)
+    results = engine.selection_query(
+        lambda r: r.value(attr) == target, project_to=[attr]
+    )
+    got = {t.values[0]: t.probability for t in results}
+
+    expected = 0.0
+    for world in db.possible_worlds():
+        if any(t.value(attr) == target for t in world):
+            expected += world.probability
+    if expected == 0.0:
+        assert got == {}
+    else:
+        assert got[target] == pytest.approx(expected)
+
+
+@given(small_databases())
+@settings(max_examples=20, deadline=None)
+def test_engine_self_join_consistency(db):
+    """Self-join on all attributes: every row pairs with itself only.
+
+    The membership probability of each (row, row) pair equals the row's own
+    probability — contradictory completions must never pair up.
+    """
+    from repro.probdb import QueryEngine, event_probability
+
+    engine = QueryEngine(db)
+    on = [(n, n) for n in db.schema.names]
+    left = engine.scan(prefix="l_")
+    right = engine.scan(prefix="r_")
+    joined = engine.join(
+        left,
+        right,
+        on=[("l_" + a, "r_" + b) for a, b in on],
+    )
+    for row in joined:
+        p = event_probability(row.event, db)
+        left_vals = row.values[: len(db.schema)]
+        right_vals = row.values[len(db.schema):]
+        if left_vals == right_vals:
+            assert p >= 0.0
+        else:
+            # Distinct value rows can only pair when both can coexist;
+            # verify against world enumeration.
+            expected = 0.0
+            for world in db.possible_worlds():
+                values = [tuple(t.values()) for t in world]
+                if left_vals in values and right_vals in values:
+                    expected += world.probability
+            assert p == pytest.approx(expected)

@@ -1,0 +1,100 @@
+"""Unit tests for extensional query evaluation, validated by enumeration."""
+
+import pytest
+
+from repro.probdb import (
+    Distribution,
+    ProbabilisticDatabase,
+    TupleBlock,
+    block_selection_probability,
+    count_distribution,
+    expected_count,
+    possible_worlds_expected_count,
+    selection_probabilities,
+)
+from repro.relational import make_tuple
+
+
+@pytest.fixture
+def db(fig1_schema):
+    certain = [
+        make_tuple(fig1_schema, ["20", "BS", "50K", "100K"]),
+        make_tuple(fig1_schema, ["40", "HS", "100K", "500K"]),
+    ]
+    blocks = [
+        TupleBlock(
+            make_tuple(fig1_schema, {"age": "30", "edu": "MS", "inc": "50K"}),
+            Distribution([("100K",), ("500K",)], [0.6, 0.4]),
+        ),
+        TupleBlock(
+            make_tuple(fig1_schema, {"age": "40", "edu": "HS", "nw": "500K"}),
+            Distribution([("50K",), ("100K",)], [0.3, 0.7]),
+        ),
+        TupleBlock(
+            make_tuple(fig1_schema, {"age": "20", "edu": "HS", "inc": "50K"}),
+            Distribution([("100K",), ("500K",)], [0.5, 0.5]),
+        ),
+    ]
+    return ProbabilisticDatabase(fig1_schema, certain, blocks)
+
+
+def rich(t):
+    return t.value("nw") == "500K"
+
+
+class TestSelection:
+    def test_block_selection_probability(self, db):
+        assert block_selection_probability(db, 0, rich) == pytest.approx(0.4)
+        # Block 1 has nw=500K known: always satisfied.
+        assert block_selection_probability(db, 1, rich) == pytest.approx(1.0)
+
+    def test_selection_probabilities_shape(self, db):
+        certain_hits, block_probs = selection_probabilities(db, rich)
+        assert certain_hits == [False, True]
+        assert len(block_probs) == 3
+
+    def test_expected_count(self, db):
+        # 1 certain + 0.4 + 1.0 + 0.5
+        assert expected_count(db, rich) == pytest.approx(2.9)
+
+    def test_expected_count_agrees_with_enumeration(self, db):
+        exact = possible_worlds_expected_count(db, rich)
+        assert expected_count(db, rich) == pytest.approx(exact)
+
+    def test_unsatisfiable_predicate(self, db):
+        assert expected_count(db, lambda t: False) == 0.0
+
+    def test_tautology_counts_all_rows(self, db):
+        assert expected_count(db, lambda t: True) == pytest.approx(5.0)
+
+
+class TestCountDistribution:
+    def test_count_distribution_sums_to_one(self, db):
+        dist = count_distribution(db, rich)
+        assert sum(dist.probs) == pytest.approx(1.0)
+
+    def test_count_distribution_mean_is_expected_count(self, db):
+        dist = count_distribution(db, rich)
+        mean = sum(k * p for k, p in dist)
+        assert mean == pytest.approx(expected_count(db, rich))
+
+    def test_count_distribution_matches_enumeration(self, db):
+        dist = count_distribution(db, rich)
+        # Brute force the count distribution over the 8 worlds.
+        from collections import Counter
+
+        counts = Counter()
+        for world in db.possible_worlds():
+            k = sum(1 for t in world if rich(t))
+            counts[k] += world.probability
+        for k, p in counts.items():
+            assert dist[k] == pytest.approx(p)
+
+    def test_certain_only_database(self, fig1_schema):
+        db = ProbabilisticDatabase(
+            fig1_schema,
+            [make_tuple(fig1_schema, ["20", "HS", "50K", "500K"])],
+            [],
+        )
+        dist = count_distribution(db, rich)
+        assert dist[1] == pytest.approx(1.0)

@@ -1,0 +1,102 @@
+"""Unit tests for relational operators (select / project / distinct)."""
+
+import pytest
+
+from repro.relational import make_tuple
+
+
+class TestSelect:
+    def test_select_filters_rows(self, fig1_relation):
+        young = fig1_relation.select(lambda t: t.value("age") == "20")
+        assert len(young) == 7
+        assert all(t.value("age") == "20" for t in young)
+
+    def test_select_preserves_schema(self, fig1_relation):
+        sub = fig1_relation.select(lambda t: True)
+        assert sub.schema == fig1_relation.schema
+        assert len(sub) == len(fig1_relation)
+
+    def test_select_empty_result(self, fig1_relation):
+        none = fig1_relation.select(lambda t: False)
+        assert len(none) == 0
+
+    def test_select_on_missing_values(self, fig1_relation):
+        from repro.relational import MISSING
+
+        unknown_income = fig1_relation.select(
+            lambda t: t.value("inc") == MISSING
+        )
+        # t1, t5, t8, t11, t12, t14, t16 have inc = "?".
+        assert len(unknown_income) == 7
+        assert all(not t.is_complete for t in unknown_income)
+
+
+class TestProject:
+    def test_project_narrows_schema(self, fig1_relation):
+        pair = fig1_relation.project(["age", "inc"])
+        assert pair.schema.names == ("age", "inc")
+        assert len(pair) == len(fig1_relation)
+
+    def test_project_keeps_values(self, fig1_relation, fig1_schema):
+        pair = fig1_relation.project(["edu", "nw"])
+        assert pair[1].value("edu") == "BS"
+        assert pair[1].value("nw") == "100K"
+
+    def test_project_reorders(self, fig1_relation):
+        flipped = fig1_relation.project(["nw", "age"])
+        assert flipped.schema.names == ("nw", "age")
+        assert flipped[3].value("nw") == "500K"
+        assert flipped[3].value("age") == "20"
+
+    def test_project_unknown_attribute_raises(self, fig1_relation):
+        from repro.relational import SchemaError
+
+        with pytest.raises(SchemaError):
+            fig1_relation.project(["bogus"])
+
+
+class TestDistinct:
+    def test_removes_duplicates(self, fig1_schema, fig1_relation):
+        from repro.relational import Relation
+
+        doubled = Relation(
+            fig1_schema, list(fig1_relation) + list(fig1_relation)
+        )
+        assert len(doubled.distinct()) == len(fig1_relation.distinct())
+
+    def test_preserves_first_seen_order(self, fig1_schema):
+        from repro.relational import Relation
+
+        a = make_tuple(fig1_schema, ["20", "HS", "50K", "100K"])
+        b = make_tuple(fig1_schema, ["30", "BS", "100K", "500K"])
+        rel = Relation(fig1_schema, [b, a, b, a, a])
+        out = rel.distinct()
+        assert list(out) == [b, a]
+
+    def test_projection_then_distinct(self, fig1_relation):
+        ages = fig1_relation.project(["age"]).distinct()
+        values = {t.value("age") for t in ages}
+        # 20, 30, 40 and "?".
+        assert len(ages) == 4
+        assert "20" in values
+
+
+class TestMRSLGraphExport:
+    def test_to_networkx_structure(self, fig1_relation, fig1_schema):
+        import networkx as nx
+
+        from repro.core import learn_mrsl
+
+        model = learn_mrsl(fig1_relation, support_threshold=0.1).model
+        lattice = model["age"]
+        graph = lattice.to_networkx(fig1_schema)
+        assert isinstance(graph, nx.DiGraph)
+        assert graph.number_of_nodes() == len(lattice)
+        # The root has no incoming edges; its label matches Fig. 2's top.
+        assert graph.in_degree(()) == 0
+        assert graph.nodes[()]["label"] == "P(age)"
+        # Edges step exactly one level down the lattice.
+        for parent, child in graph.edges:
+            assert len(child) == len(parent) + 1
+        # The graph is a DAG.
+        assert nx.is_directed_acyclic_graph(graph)

@@ -1,0 +1,41 @@
+"""Unit tests for benchmark reporting helpers."""
+
+import pytest
+
+from repro.bench import format_series, format_table, print_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        # Columns align: every line has the same separator position.
+        assert lines[1].startswith("-" * len("long-name"))
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table II")
+        assert out.splitlines()[0] == "Table II"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_print_table(self, capsys):
+        print_table(["x"], [[1]])
+        captured = capsys.readouterr()
+        assert "x" in captured.out
+
+
+class TestFormatSeries:
+    def test_series_is_two_columns(self):
+        out = format_series("support", "KL", [(0.001, 0.1), (0.01, 0.2)])
+        lines = out.splitlines()
+        assert "support" in lines[0]
+        assert "KL" in lines[0]
+        assert len(lines) == 4

@@ -1,0 +1,77 @@
+"""Unit tests for association-rule computation (Def. 2.5)."""
+
+import pytest
+
+from repro.core import mine_frequent_itemsets
+from repro.core.rules import AssociationRule, compute_association_rules
+
+
+@pytest.fixture
+def itemsets(fig1_relation):
+    return mine_frequent_itemsets(
+        fig1_relation.complete_part(), threshold=0.1
+    )
+
+
+class TestAssociationRule:
+    def test_confidence(self):
+        r = AssociationRule(body=((1, 0),), head=(0, 1), support=0.2, body_support=0.5)
+        assert r.confidence == pytest.approx(0.4)
+
+    def test_head_accessors(self):
+        r = AssociationRule(body=(), head=(2, 1), support=0.3, body_support=1.0)
+        assert r.head_attribute == 2
+        assert r.head_value == 1
+
+    def test_body_assigning_head_attribute_rejected(self):
+        with pytest.raises(ValueError, match="head attribute"):
+            AssociationRule(body=((0, 0),), head=(0, 1), support=0.1, body_support=0.5)
+
+    def test_support_bounds_validated(self):
+        with pytest.raises(ValueError):
+            AssociationRule(body=(), head=(0, 0), support=0.9, body_support=0.5)
+        with pytest.raises(ValueError):
+            AssociationRule(body=(), head=(0, 0), support=0.1, body_support=0.0)
+
+
+class TestComputeRules:
+    def test_every_rule_heads_the_requested_attribute(self, itemsets):
+        rules = compute_association_rules(itemsets, head_attribute=0)
+        assert rules
+        assert all(r.head_attribute == 0 for r in rules)
+
+    def test_rule_per_itemset_containing_head(self, itemsets):
+        rules = compute_association_rules(itemsets, head_attribute=1)
+        containing = [s for s in itemsets if any(a == 1 for a, _ in s)]
+        assert len(rules) == len(containing)
+
+    def test_confidences_are_valid_probabilities(self, itemsets):
+        for attr in range(4):
+            for r in compute_association_rules(itemsets, attr):
+                assert 0.0 <= r.confidence <= 1.0 + 1e-12
+
+    def test_paper_confidence_example(self, fig1_schema, itemsets):
+        # conf(edu=HS => age=20) = supp(age=20 ^ edu=HS) / supp(edu=HS)
+        #                        = (3/8) / (4/8) = 0.75 on the Fig. 1 points.
+        age = fig1_schema.index("age")
+        edu = fig1_schema.index("edu")
+        hs = fig1_schema["edu"].code("HS")
+        a20 = fig1_schema["age"].code("20")
+        rules = compute_association_rules(itemsets, age)
+        rule = next(
+            r for r in rules if r.body == ((edu, hs),) and r.head_value == a20
+        )
+        assert rule.confidence == pytest.approx(0.75)
+
+    def test_empty_body_rules_exist(self, itemsets):
+        # Rules from 1-itemsets: the ingredients of the top-level meta-rule.
+        rules = compute_association_rules(itemsets, head_attribute=0)
+        empties = [r for r in rules if r.body == ()]
+        assert empties
+        assert all(r.body_support == 1.0 for r in empties)
+
+    def test_no_confidence_threshold(self, itemsets):
+        # Section III: rules are computed irrespective of confidence; verify
+        # low-confidence rules survive.
+        rules = compute_association_rules(itemsets, head_attribute=0)
+        assert any(r.confidence < 0.3 for r in rules)

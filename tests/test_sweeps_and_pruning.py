@@ -1,0 +1,131 @@
+"""Tests for the sweep runner, model pruning and block top-k."""
+
+import numpy as np
+import pytest
+
+from repro.bench import Sweep, SweepResult
+from repro.core import infer_single, learn_mrsl
+from repro.probdb import Distribution, TupleBlock
+from repro.relational import SchemaError, Relation, make_tuple
+
+
+class TestSweep:
+    def test_points_cover_grid(self):
+        sweep = Sweep("s", grid={"a": [1, 2], "b": ["x", "y", "z"]})
+        points = list(sweep.points())
+        assert len(points) == len(sweep) == 6
+        assert {"a": 2, "b": "z"} in points
+
+    def test_empty_grid_has_one_point(self):
+        sweep = Sweep("s")
+        assert list(sweep.points()) == [{}]
+        assert len(sweep) == 1
+
+    def test_run_calls_function_per_point(self):
+        sweep = Sweep("s", grid={"a": [1, 2, 3]})
+        results = sweep.run(lambda a: a * 10)
+        assert [r.value for r in results] == [10, 20, 30]
+        assert all(r.elapsed_sec >= 0 for r in results)
+
+    def test_progress_callback(self):
+        seen = []
+        sweep = Sweep("s", grid={"a": [1, 2]})
+        sweep.run(lambda a: a, on_point=lambda p, v: seen.append((p["a"], v)))
+        assert seen == [(1, 1), (2, 2)]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        sweep = Sweep("fig", grid={"x": [1, 2]})
+        results = sweep.run(lambda x: x + 0.5)
+        path = tmp_path / "sweep.json"
+        sweep.save(results, path)
+        loaded_sweep, loaded = Sweep.load(path)
+        assert loaded_sweep.name == "fig"
+        assert [r.value for r in loaded] == [1.5, 2.5]
+        assert loaded[0].params == {"x": 1}
+
+    def test_tabulate(self):
+        results = [
+            SweepResult({"x": 1}, {"kl": 0.5}, 0.0),
+            SweepResult({"x": 2}, {"kl": 0.25}, 0.0),
+        ]
+        series = Sweep.tabulate(results, "x", value_key=lambda v: v["kl"])
+        assert series == [(1, 0.5), (2, 0.25)]
+
+
+class TestModelPruning:
+    @pytest.fixture
+    def model(self, fig1_relation):
+        return learn_mrsl(fig1_relation, support_threshold=0.1).model
+
+    def test_pruning_shrinks_model(self, model):
+        pruned = model.pruned(0.4)
+        assert pruned.size() < model.size()
+
+    def test_roots_always_survive(self, model):
+        pruned = model.pruned(1.0)
+        for lattice in pruned:
+            assert lattice.root is not None
+            # Only empty bodies have weight 1 by definition here.
+            assert all(m.body == () for m in lattice)
+
+    def test_pruned_weights_respect_threshold(self, model):
+        pruned = model.pruned(0.3)
+        for lattice in pruned:
+            for m in lattice:
+                assert m.weight >= 0.3 or m.body == ()
+
+    def test_prune_zero_is_identity(self, model):
+        assert model.pruned(0.0).size() == model.size()
+
+    def test_bad_threshold_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.pruned(-0.1)
+        with pytest.raises(ValueError):
+            model.pruned(1.5)
+
+    def test_inference_still_works_after_pruning(self, model, fig1_schema):
+        pruned = model.pruned(0.5)
+        t = make_tuple(fig1_schema, {"edu": "HS", "inc": "50K"})
+        cpd = infer_single(t, pruned["age"])
+        assert sum(cpd.probs) == pytest.approx(1.0)
+
+
+class TestBlockTopK:
+    @pytest.fixture
+    def block(self, fig1_schema):
+        base = make_tuple(fig1_schema, {"age": "30", "edu": "MS"})
+        dist = Distribution(
+            [("50K", "100K"), ("50K", "500K"), ("100K", "100K"), ("100K", "500K")],
+            [0.30, 0.45, 0.10, 0.15],
+        )
+        return TupleBlock(base, dist)
+
+    def test_top_k_order(self, block):
+        top2 = block.top_k(2)
+        assert top2[0][1] == pytest.approx(0.45)
+        assert top2[1][1] == pytest.approx(0.30)
+        assert top2[0][0].value("nw") == "500K"
+
+    def test_top_k_caps_at_size(self, block):
+        assert len(block.top_k(100)) == 4
+
+    def test_top_k_validation(self, block):
+        with pytest.raises(ValueError):
+            block.top_k(0)
+
+
+class TestFromCodesValidation:
+    def test_out_of_range_code_rejected(self, fig1_schema):
+        bad = np.array([[0, 0, 0, 9]], dtype=np.int32)
+        with pytest.raises(SchemaError, match="outside"):
+            Relation.from_codes(fig1_schema, bad)
+
+    def test_negative_non_missing_code_rejected(self, fig1_schema):
+        bad = np.array([[-2, 0, 0, 0]], dtype=np.int32)
+        with pytest.raises(SchemaError, match="outside"):
+            Relation.from_codes(fig1_schema, bad)
+
+    def test_missing_code_allowed(self, fig1_schema):
+        ok = np.array([[-1, 0, 0, 0]], dtype=np.int32)
+        rel = Relation.from_codes(fig1_schema, ok)
+        assert rel.num_incomplete == 1

@@ -1,0 +1,105 @@
+"""Unit tests for the topology builders."""
+
+import pytest
+
+from repro.bayesnet import (
+    crown_topology,
+    independent_topology,
+    layered_topology,
+    line_topology,
+    random_dag_topology,
+    tree_topology,
+)
+from repro.bayesnet.topology import Topology
+
+
+class TestTopology:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(["a", "b"], [2], [])
+
+    def test_unknown_edge_node_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Topology(["a"], [2], [("a", "zzz")])
+
+    def test_domain_size_and_avg_card(self):
+        t = Topology(["a", "b"], [3, 4], [])
+        assert t.domain_size() == 12
+        assert t.average_cardinality() == pytest.approx(3.5)
+
+
+class TestFamilies:
+    def test_independent_has_no_edges_depth_zero(self):
+        t = independent_topology([2, 2, 2])
+        assert t.edges == ()
+        assert t.depth() == 0
+
+    def test_line_depth_equals_node_count(self):
+        t = line_topology([2] * 6)
+        assert t.depth() == 6
+        assert len(t.edges) == 5
+
+    def test_line_is_a_chain(self):
+        t = line_topology([2, 2, 2])
+        assert t.edges == (("x0", "x1"), ("x1", "x2"))
+
+    def test_crown_depth_is_two(self):
+        for n in (3, 4, 6, 8, 10):
+            assert crown_topology([2] * n).depth() == 2
+
+    def test_crown_children_have_parents_in_roots(self):
+        t = crown_topology([2] * 6)
+        roots = {"x0", "x1", "x2"}
+        for parent, child in t.edges:
+            assert parent in roots
+            assert child not in roots
+
+    def test_crown_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            crown_topology([2, 2])
+
+    def test_layered_depth_exact(self):
+        for depth in (2, 3, 4, 5):
+            t = layered_topology([2] * 10, depth=depth, seed=1)
+            assert t.depth() == depth
+
+    def test_layered_every_nonroot_has_a_parent(self):
+        t = layered_topology([2] * 9, depth=3, seed=0)
+        children = {c for _, c in t.edges}
+        # Layers of 3: x3..x8 are non-top and must each have a parent.
+        assert children == {f"x{i}" for i in range(3, 9)}
+
+    def test_layered_is_deterministic_per_seed(self):
+        a = layered_topology([2] * 8, depth=4, seed=7)
+        b = layered_topology([2] * 8, depth=4, seed=7)
+        assert a.edges == b.edges
+
+    def test_layered_depth_bounds(self):
+        with pytest.raises(ValueError):
+            layered_topology([2, 2], depth=3)
+        with pytest.raises(ValueError):
+            layered_topology([2, 2], depth=0)
+
+    def test_tree_structure(self):
+        t = tree_topology([2] * 7, branching=2)
+        # Node i's parent is (i-1)//2: a complete binary tree.
+        assert ("x0", "x1") in t.edges
+        assert ("x0", "x2") in t.edges
+        assert ("x1", "x3") in t.edges
+        assert len(t.edges) == 6
+
+    def test_random_dag_is_acyclic_by_construction(self):
+        t = random_dag_topology([2] * 8, edge_prob=0.5, seed=3)
+        # Edges only go from lower to higher index.
+        for parent, child in t.edges:
+            assert int(parent[1:]) < int(child[1:])
+
+    def test_random_dag_edge_prob_bounds(self):
+        with pytest.raises(ValueError):
+            random_dag_topology([2, 2], edge_prob=1.5)
+
+    def test_random_dag_extremes(self):
+        none = random_dag_topology([2] * 5, edge_prob=0.0)
+        full = random_dag_topology([2] * 5, edge_prob=1.0)
+        assert len(none.edges) == 0
+        assert len(full.edges) == 10

@@ -1,0 +1,169 @@
+"""Unit tests for the tuple DAG and workload-driven sampling (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import forward_sample_relation, make_network
+from repro.core import TupleDAG, learn_mrsl, workload_sampling
+from repro.relational import make_tuple
+
+
+@pytest.fixture
+def setup(rng):
+    net = make_network("BN8", rng)
+    data = forward_sample_relation(net, 4000, rng)
+    model = learn_mrsl(data, support_threshold=0.005).model
+    return net, data.schema, model
+
+
+@pytest.fixture
+def workload(setup):
+    """A workload echoing Fig. 3: specific tuples under general roots."""
+    net, schema, model = setup
+    return [
+        make_tuple(schema, {"x0": "v0", "x1": "v0"}),   # child of the next
+        make_tuple(schema, {"x0": "v0"}),                # root
+        make_tuple(schema, {"x1": "v1"}),                # root
+        make_tuple(schema, {"x1": "v1", "x3": "v0"}),   # child of x1=v1
+        make_tuple(schema, {"x0": "v0", "x2": "v1"}),   # child of x0=v0
+    ]
+
+
+class TestTupleDAG:
+    def test_roots_are_unsubsumed(self, setup, workload):
+        dag = TupleDAG(workload)
+        roots = {tuple(n.tuple.values()) for n in dag.roots()}
+        assert roots == {
+            ("v0", "?", "?", "?"),
+            ("?", "v1", "?", "?"),
+        }
+
+    def test_parent_child_edges(self, setup, workload):
+        dag = TupleDAG(workload)
+        root = dag.node(workload[1])  # x0=v0
+        children = {tuple(c.tuple.values()) for c in root.children}
+        assert ("v0", "v0", "?", "?") in children
+        assert ("v0", "?", "v1", "?") in children
+
+    def test_duplicates_are_merged(self, setup, workload):
+        dag = TupleDAG(workload + [workload[0]])
+        assert len(dag) == len(workload)
+
+    def test_complete_tuple_rejected(self, setup):
+        net, schema, model = setup
+        point = make_tuple(schema, ["v0"] * 4)
+        with pytest.raises(ValueError, match="complete"):
+            TupleDAG([point])
+
+    def test_incomparable_tuples_all_roots(self, setup):
+        net, schema, model = setup
+        a = make_tuple(schema, {"x0": "v0"})
+        b = make_tuple(schema, {"x0": "v1"})
+        dag = TupleDAG([a, b])
+        assert len(dag.roots()) == 2
+
+
+class TestWorkloadSampling:
+    @pytest.mark.parametrize("strategy", ["tuple_dag", "tuple_at_a_time"])
+    def test_blocks_returned_in_input_order(self, setup, workload, strategy):
+        net, schema, model = setup
+        blocks, _ = workload_sampling(
+            model, workload, num_samples=80, burn_in=20,
+            strategy=strategy, rng=0,
+        )
+        assert len(blocks) == len(workload)
+        for t, block in zip(workload, blocks):
+            assert block.base == t
+
+    def test_block_distributions_sum_to_one(self, setup, workload):
+        net, schema, model = setup
+        blocks, _ = workload_sampling(
+            model, workload, num_samples=60, burn_in=10, rng=0
+        )
+        for block in blocks:
+            assert sum(block.distribution.probs) == pytest.approx(1.0)
+
+    def test_dag_draws_fewer_samples_than_baseline(self, setup, workload):
+        net, schema, model = setup
+        _, dag_stats = workload_sampling(
+            model, workload, num_samples=100, burn_in=20,
+            strategy="tuple_dag", rng=0,
+        )
+        _, base_stats = workload_sampling(
+            model, workload, num_samples=100, burn_in=20,
+            strategy="tuple_at_a_time", rng=0,
+        )
+        assert dag_stats.total_draws < base_stats.total_draws
+
+    def test_baseline_draw_count_is_exact(self, setup, workload):
+        net, schema, model = setup
+        _, stats = workload_sampling(
+            model, workload, num_samples=50, burn_in=10,
+            strategy="tuple_at_a_time", rng=0,
+        )
+        # 5 distinct tuples x (10 burn-in + 50 samples).
+        assert stats.total_draws == 5 * 60
+        assert stats.burn_in_draws == 5 * 10
+
+    def test_sharing_happens(self, setup, workload):
+        net, schema, model = setup
+        _, stats = workload_sampling(
+            model, workload, num_samples=100, burn_in=10,
+            strategy="tuple_dag", rng=0,
+        )
+        assert stats.shared_tuples > 0
+
+    def test_duplicate_tuples_share_one_block(self, setup):
+        net, schema, model = setup
+        t = make_tuple(schema, {"x0": "v0"})
+        blocks, _ = workload_sampling(
+            model, [t, t], num_samples=50, burn_in=5, rng=0
+        )
+        assert blocks[0] is blocks[1]
+
+    def test_dag_and_tuple_at_a_time_agree_on_accuracy(self, setup):
+        """The paper found 'no difference' in accuracy between strategies."""
+        from repro.bench.metrics import true_joint_posterior
+
+        net, schema, model = setup
+        workload = [
+            make_tuple(schema, {"x0": "v0"}),
+            make_tuple(schema, {"x0": "v0", "x1": "v0"}),
+        ]
+        kls = {}
+        for strategy in ("tuple_dag", "tuple_at_a_time"):
+            blocks, _ = workload_sampling(
+                model, workload, num_samples=2500, burn_in=200,
+                strategy=strategy, rng=3,
+            )
+            kls[strategy] = [
+                true_joint_posterior(net, t).kl_divergence(b.distribution)
+                for t, b in zip(workload, blocks)
+            ]
+        for a, b in zip(kls["tuple_dag"], kls["tuple_at_a_time"]):
+            assert abs(a - b) < 0.1
+
+    def test_all_at_a_time_strategy_runs(self, setup):
+        net, schema, model = setup
+        workload = [make_tuple(schema, {"x0": "v0"})]
+        blocks, stats = workload_sampling(
+            model, workload, num_samples=60, burn_in=10,
+            strategy="all_at_a_time", rng=0,
+        )
+        assert len(blocks) == 1
+        # Unclamped sampling wastes draws on non-matching points.
+        assert stats.total_draws >= 60
+
+    def test_invalid_strategy_rejected(self, setup):
+        net, schema, model = setup
+        t = make_tuple(schema, {"x0": "v0"})
+        with pytest.raises(ValueError, match="strategy"):
+            workload_sampling(model, [t], strategy="bogus", rng=0)
+
+    def test_invalid_parameters_rejected(self, setup):
+        net, schema, model = setup
+        t = make_tuple(schema, {"x0": "v0"})
+        with pytest.raises(ValueError):
+            workload_sampling(model, [t], num_samples=0, rng=0)
+        with pytest.raises(ValueError):
+            workload_sampling(model, [t], burn_in=-1, rng=0)
