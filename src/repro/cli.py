@@ -21,6 +21,7 @@ from pathlib import Path
 
 from .bench.reporting import format_table
 from .core.derive import derive_probabilistic_database
+from .core.engine import DEFAULT_ENGINE, ENGINES
 from .core.learning import learn_mrsl
 from .core.persistence import load_model, save_model
 from .relational.io import read_csv
@@ -53,9 +54,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None,
         help="output CSV (default: stdout)",
     )
-    derive.add_argument("--voters", choices=["all", "best"], default="best")
     derive.add_argument(
-        "--voting", choices=["averaged", "weighted"], default="averaged"
+        "--voters", choices=["all", "best", "root"], default="best"
+    )
+    derive.add_argument(
+        "--voting", choices=["averaged", "weighted", "log_pool"],
+        default="averaged",
+    )
+    derive.add_argument(
+        "--engine", choices=list(ENGINES), default=DEFAULT_ENGINE,
+        help="inference engine: 'compiled' batches voting by evidence "
+        "signature; 'naive' is the scalar reference path (default: "
+        f"{DEFAULT_ENGINE})",
     )
     derive.add_argument("--samples", type=int, default=2000,
                         help="Gibbs samples per multi-missing tuple")
@@ -89,6 +99,7 @@ def _cmd_derive(args: argparse.Namespace) -> int:
         num_samples=args.samples,
         burn_in=args.burn_in,
         rng=args.seed,
+        engine=args.engine,
     )
     db = result.database
     out = args.output.open("w", newline="") if args.output else sys.stdout
@@ -105,7 +116,8 @@ def _cmd_derive(args: argparse.Namespace) -> int:
             out.close()
     print(
         f"derived {len(db.blocks)} blocks over {len(db.certain)} certain "
-        f"tuples (model: {result.model.size()} meta-rules)",
+        f"tuples (model: {result.model.size()} meta-rules, "
+        f"engine: {args.engine})",
         file=sys.stderr,
     )
     return 0

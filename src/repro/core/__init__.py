@@ -7,12 +7,24 @@ Modules map one-to-one onto the paper's sections:
 * :mod:`.mrsl` — Defs 2.7-2.9;
 * :mod:`.learning` — Algorithm 1;
 * :mod:`.inference` — Algorithm 2 (single missing attribute);
+* :mod:`.compiled`, :mod:`.engine` — the compiled batch-inference engine;
 * :mod:`.gibbs` — ordered Gibbs sampling (Section V-A);
 * :mod:`.tuple_dag` — Algorithm 3 (workload-driven sampling);
 * :mod:`.derive` — the end-to-end pipeline.
 """
 
-from .derive import DeriveResult, derive_probabilistic_database
+from .compiled import CompiledModel, CompiledMRSL, LRUCache
+from .derive import (
+    DeriveResult,
+    derive_probabilistic_database,
+    single_missing_blocks,
+)
+from .engine import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    BatchInferenceEngine,
+    validate_engine,
+)
 from .diagnostics import ChainPlan, gelman_rubin, psrf, suggest_chain_lengths
 from .gibbs import GibbsChain, GibbsSampler, estimate_joint, samples_to_distribution
 from .lazy import LazyDeriver
@@ -80,6 +92,14 @@ __all__ = [
     "workload_sampling",
     "DeriveResult",
     "derive_probabilistic_database",
+    "single_missing_blocks",
+    "CompiledMRSL",
+    "CompiledModel",
+    "LRUCache",
+    "BatchInferenceEngine",
+    "ENGINES",
+    "DEFAULT_ENGINE",
+    "validate_engine",
     "LazyDeriver",
     "save_model",
     "load_model",

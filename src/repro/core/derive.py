@@ -17,13 +17,18 @@ from ..probdb.blocks import TupleBlock
 from ..probdb.database import ProbabilisticDatabase
 from ..probdb.distribution import Distribution
 from ..relational.relation import Relation
+from .engine import DEFAULT_ENGINE, BatchInferenceEngine, validate_engine
 from .inference import VoterChoice, VotingScheme, infer_single
 from .itemsets import DEFAULT_MAX_ITEMSETS
 from .learning import LearnResult, learn_mrsl
 from .mrsl import MRSLModel
 from .tuple_dag import SamplingStats, workload_sampling
 
-__all__ = ["DeriveResult", "derive_probabilistic_database"]
+__all__ = [
+    "DeriveResult",
+    "derive_probabilistic_database",
+    "single_missing_blocks",
+]
 
 
 @dataclass
@@ -39,12 +44,53 @@ class DeriveResult:
 def _single_missing_block(
     t, model: MRSLModel, v_choice: VoterChoice, v_scheme: VotingScheme
 ) -> TupleBlock:
-    """Wrap an Algorithm 2 CPD as a one-attribute block."""
+    """Wrap an Algorithm 2 CPD as a one-attribute block (naive path)."""
     attr = t.missing_positions[0]
     cpd = infer_single(t, model[attr], v_choice, v_scheme)
     # Block outcomes are 1-tuples of values, per TupleBlock's convention.
     outcomes = [(value,) for value in cpd.outcomes]
     return TupleBlock(t, Distribution(outcomes, cpd.probs))
+
+
+def single_missing_blocks(
+    tuples,
+    model: MRSLModel,
+    v_choice: VoterChoice | str,
+    v_scheme: VotingScheme | str,
+    engine: str = DEFAULT_ENGINE,
+    batch_engine: BatchInferenceEngine | None = None,
+) -> list[TupleBlock]:
+    """Blocks for a batch of single-missing tuples under the chosen engine.
+
+    The compiled path groups the whole batch by evidence signature and
+    serves each group with one matrix combine; the naive path loops
+    tuple-at-a-time and is kept as the correctness oracle.
+    """
+    tuples = list(tuples)
+    v_choice = VoterChoice(v_choice)
+    v_scheme = VotingScheme(v_scheme)
+    if validate_engine(engine) == "naive":
+        return [
+            _single_missing_block(t, model, v_choice, v_scheme) for t in tuples
+        ]
+    if batch_engine is None:
+        batch_engine = BatchInferenceEngine(model, v_choice, v_scheme)
+    cpds = batch_engine.infer_batch(tuples, v_choice, v_scheme)
+    # Tuples sharing a CPD (same evidence signature) share one immutable
+    # block distribution; only the per-tuple base differs.  Wrapping the
+    # value-level Distribution (rather than the raw CPD vector) matters for
+    # the oracle guarantee: the naive path normalizes twice — once inside
+    # infer_single, once here — and bit-for-bit parity requires the same.
+    shared: dict[int, Distribution] = {}
+    blocks = []
+    for t, cpd in zip(tuples, cpds):
+        dist = shared.get(id(cpd))
+        if dist is None:
+            outcomes = [(value,) for value in cpd.outcomes]
+            dist = Distribution(outcomes, cpd.probs)
+            shared[id(cpd)] = dist
+        blocks.append(TupleBlock(t, dist))
+    return blocks
 
 
 def derive_probabilistic_database(
@@ -57,6 +103,7 @@ def derive_probabilistic_database(
     burn_in: int = 100,
     strategy: str = "tuple_dag",
     rng: np.random.Generator | int | None = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> DeriveResult:
     """Derive the disjoint-independent probabilistic model for ``relation``.
 
@@ -77,10 +124,15 @@ def derive_probabilistic_database(
         :func:`~repro.core.tuple_dag.workload_sampling`.
     rng:
         Seed or generator for the samplers (reproducibility).
+    engine:
+        ``"compiled"`` (default) batches single-missing inference by
+        evidence signature and serves Gibbs CPDs from the compiled rule
+        matrix; ``"naive"`` keeps the scalar reference path.
 
     Returns a :class:`DeriveResult`; its ``database`` holds the complete
     tuples as certain rows and one block per incomplete tuple.
     """
+    engine = validate_engine(engine)
     learn_result = learn_mrsl(
         relation, support_threshold=support_threshold, max_itemsets=max_itemsets
     )
@@ -96,9 +148,9 @@ def derive_probabilistic_database(
         else:
             multi.append(t)
 
-    blocks: list[TupleBlock] = []
-    for t in single:
-        blocks.append(_single_missing_block(t, model, v_choice, v_scheme))
+    blocks: list[TupleBlock] = single_missing_blocks(
+        single, model, v_choice, v_scheme, engine=engine
+    )
 
     stats = SamplingStats()
     if multi:
@@ -111,6 +163,7 @@ def derive_probabilistic_database(
             v_choice=v_choice,
             v_scheme=v_scheme,
             rng=rng,
+            engine=engine,
         )
         blocks.extend(multi_blocks)
 

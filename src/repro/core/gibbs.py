@@ -11,7 +11,10 @@ restriction of the sample space.
 A shared CPD cache keyed by the full conditioning assignment implements the
 "caching the results of partial computations for re-use" optimization of
 Section I-B; it is reused across chain steps, tuples, and the tuple-DAG
-workload driver.
+workload driver.  The cache is a size-bounded LRU so long-running workloads
+cannot grow it without bound; conditional CPDs are computed by the compiled
+engine (:mod:`repro.core.compiled`) by default, with the naive voter
+enumeration kept as the ``engine="naive"`` correctness oracle.
 """
 
 from __future__ import annotations
@@ -24,6 +27,13 @@ import numpy as np
 from ..probdb.blocks import TupleBlock
 from ..probdb.distribution import DEFAULT_SMOOTHING_FLOOR, Distribution
 from ..relational.tuples import MISSING_CODE, RelTuple
+from .compiled import LRUCache
+from .engine import (
+    DEFAULT_CPD_CACHE_SIZE,
+    DEFAULT_ENGINE,
+    BatchInferenceEngine,
+    validate_engine,
+)
 from .inference import VoterChoice, VotingScheme, _combine, select_voters
 from .mrsl import MRSLModel
 
@@ -47,6 +57,8 @@ class GibbsSampler:
         v_choice: VoterChoice | str = VoterChoice.BEST,
         v_scheme: VotingScheme | str = VotingScheme.AVERAGED,
         rng: np.random.Generator | int | None = None,
+        engine: str = DEFAULT_ENGINE,
+        cache_size: int | None = DEFAULT_CPD_CACHE_SIZE,
     ):
         self.model = model
         self.schema = model.schema
@@ -55,21 +67,45 @@ class GibbsSampler:
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
         self.rng = rng
-        self._cpd_cache: dict[tuple[int, bytes], np.ndarray] = {}
-        #: total conditional-CPD evaluations (cache misses), for diagnostics
-        self.cpd_evaluations = 0
+        self.engine = validate_engine(engine)
+        if self.engine == "compiled":
+            self._engine = BatchInferenceEngine(
+                model, self.v_choice, self.v_scheme, cache_size=cache_size
+            )
+            self._cpd_cache = self._engine.cache
+        else:
+            self._engine = None
+            self._cpd_cache = LRUCache(cache_size)
         #: total single-attribute resampling steps taken
         self.steps = 0
 
     # -- conditional CPDs -------------------------------------------------------
+
+    @property
+    def cpd_evaluations(self) -> int:
+        """Total conditional-CPD evaluations (cache misses), for diagnostics."""
+        return self._cpd_cache.misses
+
+    @property
+    def cache_hits(self) -> int:
+        """Conditional-CPD cache hits, for diagnostics."""
+        return self._cpd_cache.hits
+
+    def cache_info(self) -> dict[str, int | None]:
+        """Hit/miss/eviction counters of the conditional-CPD cache."""
+        return self._cpd_cache.info()
 
     def conditional_probs(self, codes: np.ndarray, attr: int) -> np.ndarray:
         """CPD vector for ``attr`` with every other attribute of ``codes`` known.
 
         ``codes`` is a full code vector whose position ``attr`` is ignored
         (treated as missing).  Results are memoized on the conditioning
-        assignment.
+        assignment in a bounded LRU; the compiled path keys on the evidence
+        *signature*, so assignments differing only on attributes no
+        meta-rule conditions on share one entry.
         """
+        if self._engine is not None:
+            return self._engine.conditional_probs(codes, attr)
         masked = codes.copy()
         masked[attr] = MISSING_CODE
         key = (attr, masked.tobytes())
@@ -82,8 +118,7 @@ class GibbsSampler:
         # Strict positivity is required for Gibbs irreducibility; meta-rule
         # CPDs are positive by construction but the uniform fallback is too,
         # so this is a cheap invariant check rather than a transform.
-        self._cpd_cache[key] = probs
-        self.cpd_evaluations += 1
+        self._cpd_cache.put(key, probs)
         return probs
 
     # -- chains ----------------------------------------------------------------
@@ -193,7 +228,10 @@ def estimate_joint(
     v_choice: VoterChoice | str = VoterChoice.BEST,
     v_scheme: VotingScheme | str = VotingScheme.AVERAGED,
     rng: np.random.Generator | int | None = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> TupleBlock:
     """Convenience wrapper: one tuple, one chain, one block."""
-    sampler = GibbsSampler(model, v_choice=v_choice, v_scheme=v_scheme, rng=rng)
+    sampler = GibbsSampler(
+        model, v_choice=v_choice, v_scheme=v_scheme, rng=rng, engine=engine
+    )
     return sampler.estimate(base, num_samples=num_samples, burn_in=burn_in)

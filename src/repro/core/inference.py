@@ -16,9 +16,9 @@ from typing import Sequence
 
 import numpy as np
 
-from ..probdb.distribution import Distribution
+from ..probdb.distribution import DEFAULT_SMOOTHING_FLOOR, Distribution
 from ..relational.schema import Schema
-from ..relational.tuples import RelTuple
+from ..relational.tuples import MISSING_CODE, RelTuple
 from .metarule import MetaRule
 from .mrsl import MRSL, MRSLModel
 
@@ -73,6 +73,33 @@ def select_voters(
     return lattice.matching(t)
 
 
+def _combine_stack(
+    stack: np.ndarray, weights: np.ndarray | None, scheme: VotingScheme
+) -> np.ndarray:
+    """Combine a non-empty ``(n, card)`` CPD stack under the chosen scheme.
+
+    The single source of the voting arithmetic: both the naive path
+    (:func:`_combine`) and the compiled engine
+    (:meth:`~repro.core.compiled.CompiledMRSL.combine_rows`) call this, so
+    their results agree bit for bit by construction.  ``weights`` is only
+    read for ``WEIGHTED``.
+    """
+    if scheme is VotingScheme.WEIGHTED:
+        if weights.sum() <= 0:
+            weights = np.ones(stack.shape[0])
+        weights = weights / weights.sum()
+        return weights @ stack
+    if scheme is VotingScheme.LOG_POOL:
+        # Clamp to the smoothing floor: a voter with an exact-zero entry
+        # (point-mass CPDs, hand-built meta-rules) would otherwise produce
+        # -inf and a NaN after normalization, crashing downstream sampling.
+        pooled = np.exp(
+            np.log(np.maximum(stack, DEFAULT_SMOOTHING_FLOOR)).mean(axis=0)
+        )
+        return pooled / pooled.sum()
+    return stack.mean(axis=0)
+
+
 def _combine(
     voters: Sequence[MetaRule], cardinality: int, scheme: VotingScheme
 ) -> np.ndarray:
@@ -82,16 +109,12 @@ def _combine(
         # support threshold): fall back to the uninformative uniform CPD.
         return np.full(cardinality, 1.0 / cardinality)
     stack = np.vstack([m.probs for m in voters])
-    if scheme is VotingScheme.WEIGHTED:
-        weights = np.array([m.weight for m in voters], dtype=np.float64)
-        if weights.sum() <= 0:
-            weights = np.ones(len(voters))
-        weights = weights / weights.sum()
-        return weights @ stack
-    if scheme is VotingScheme.LOG_POOL:
-        pooled = np.exp(np.log(stack).mean(axis=0))
-        return pooled / pooled.sum()
-    return stack.mean(axis=0)
+    weights = (
+        np.array([m.weight for m in voters], dtype=np.float64)
+        if scheme is VotingScheme.WEIGHTED
+        else None
+    )
+    return _combine_stack(stack, weights, scheme)
 
 
 def infer_single_codes(
@@ -109,7 +132,7 @@ def infer_single_codes(
     v_choice = VoterChoice(v_choice)
     v_scheme = VotingScheme(v_scheme)
     head = lattice.head_attribute
-    if t.codes[head] != -1:
+    if t.codes[head] != MISSING_CODE:
         raise ValueError(
             f"tuple already assigns attribute {t.schema[head].name!r}"
         )
@@ -134,12 +157,23 @@ def infer_all_single_missing(
     model: MRSLModel,
     v_choice: VoterChoice | str = VoterChoice.BEST,
     v_scheme: VotingScheme | str = VotingScheme.AVERAGED,
+    engine: str = "compiled",
 ) -> list[Distribution]:
     """Batch single-attribute inference, one CPD per tuple.
 
     Every tuple must be missing exactly one attribute; this is the workload
-    shape of the Fig. 9 timing experiment.
+    shape of the Fig. 9 timing experiment.  The default delegates to the
+    compiled batch engine (:mod:`repro.core.engine`), which groups the batch
+    by evidence signature; ``engine="naive"`` keeps the scalar reference
+    loop.
     """
+    # Imported here: engine.py builds on this module.
+    from .engine import BatchInferenceEngine, validate_engine
+
+    if validate_engine(engine) == "compiled":
+        return BatchInferenceEngine(model, v_choice, v_scheme).infer_batch(
+            tuples
+        )
     out = []
     for t in tuples:
         missing = t.missing_positions
@@ -202,7 +236,7 @@ def explain_single(
     v_choice = VoterChoice(v_choice)
     v_scheme = VotingScheme(v_scheme)
     head = lattice.head_attribute
-    if t.codes[head] != -1:
+    if t.codes[head] != MISSING_CODE:
         raise ValueError(
             f"tuple already assigns attribute {t.schema[head].name!r}"
         )

@@ -22,7 +22,8 @@ from ..probdb.database import ProbabilisticDatabase
 from ..probdb.distribution import Distribution
 from ..relational.relation import Relation
 from ..relational.tuples import RelTuple
-from .derive import _single_missing_block
+from .derive import single_missing_blocks
+from .engine import DEFAULT_ENGINE, BatchInferenceEngine, validate_engine
 from .inference import VoterChoice, VotingScheme
 from .learning import learn_mrsl
 from .tuple_dag import workload_sampling
@@ -46,6 +47,7 @@ class LazyDeriver:
         num_samples: int = 2000,
         burn_in: int = 100,
         rng: np.random.Generator | int | None = None,
+        engine: str = DEFAULT_ENGINE,
     ):
         self.relation = relation
         self.model = learn_mrsl(
@@ -58,6 +60,12 @@ class LazyDeriver:
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
         self._rng = rng
+        self.engine = validate_engine(engine)
+        self._batch_engine = (
+            BatchInferenceEngine(self.model, self.v_choice, self.v_scheme)
+            if self.engine == "compiled"
+            else None
+        )
         self._cache: dict[RelTuple, TupleBlock] = {}
         #: number of blocks actually derived (the partial-materialization metric)
         self.materialized = 0
@@ -70,9 +78,14 @@ class LazyDeriver:
         if cached is not None:
             return cached
         if t.num_missing == 1:
-            block = _single_missing_block(
-                t, self.model, self.v_choice, self.v_scheme
-            )
+            block = single_missing_blocks(
+                [t],
+                self.model,
+                self.v_choice,
+                self.v_scheme,
+                engine=self.engine,
+                batch_engine=self._batch_engine,
+            )[0]
         else:
             blocks, _ = workload_sampling(
                 self.model,
@@ -82,6 +95,7 @@ class LazyDeriver:
                 v_choice=self.v_choice,
                 v_scheme=self.v_scheme,
                 rng=self._rng,
+                engine=self.engine,
             )
             block = blocks[0]
         self._cache[t] = block
@@ -89,10 +103,12 @@ class LazyDeriver:
         return block
 
     def prefetch(self, tuples: list[RelTuple]) -> None:
-        """Materialize many multi-missing blocks in one workload.
+        """Materialize many blocks at once.
 
-        Uses the tuple-DAG optimization across the batch, which a
-        tuple-at-a-time loop over :meth:`block` cannot.
+        Multi-missing tuples share Gibbs work through the tuple-DAG
+        optimization; single-missing tuples are served as one signature-
+        grouped batch by the compiled engine — neither win is available to a
+        tuple-at-a-time loop over :meth:`block`.
         """
         multi = [
             t for t in tuples
@@ -107,14 +123,29 @@ class LazyDeriver:
                 v_choice=self.v_choice,
                 v_scheme=self.v_scheme,
                 rng=self._rng,
+                engine=self.engine,
             )
             for t, block in zip(multi, blocks):
                 if t not in self._cache:
                     self._cache[t] = block
                     self.materialized += 1
-        for t in tuples:
-            if t.num_missing == 1 and t not in self._cache:
-                self.block(t)
+        single = [
+            t for t in tuples
+            if t.num_missing == 1 and t not in self._cache
+        ]
+        if single:
+            blocks = single_missing_blocks(
+                single,
+                self.model,
+                self.v_choice,
+                self.v_scheme,
+                engine=self.engine,
+                batch_engine=self._batch_engine,
+            )
+            for t, block in zip(single, blocks):
+                if t not in self._cache:
+                    self._cache[t] = block
+                    self.materialized += 1
 
     # -- query-targeted evaluation ------------------------------------------------
 

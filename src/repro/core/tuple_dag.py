@@ -26,6 +26,7 @@ import numpy as np
 
 from ..probdb.blocks import TupleBlock
 from ..relational.tuples import MISSING_CODE, RelTuple, proper_subsumes
+from .engine import DEFAULT_ENGINE
 from .gibbs import GibbsChain, GibbsSampler, samples_to_distribution
 from .inference import VoterChoice, VotingScheme
 from .mrsl import MRSLModel
@@ -243,6 +244,7 @@ def workload_sampling(
     v_scheme: VotingScheme | str = VotingScheme.AVERAGED,
     rng: np.random.Generator | int | None = None,
     max_draws: int | None = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> tuple[list[TupleBlock], SamplingStats]:
     """Estimate ``Δt`` for a workload of multi-missing tuples.
 
@@ -252,13 +254,16 @@ def workload_sampling(
 
     ``strategy`` selects ``tuple_dag`` (Algorithm 3), ``tuple_at_a_time``
     (independent chains) or ``all_at_a_time`` (single unclamped chain,
-    bounded by ``max_draws``).
+    bounded by ``max_draws``); ``engine`` selects how the conditional CPDs
+    inside each Gibbs step are computed (compiled by default).
     """
     if num_samples < 1:
         raise ValueError("num_samples must be positive")
     if burn_in < 0:
         raise ValueError("burn_in must be non-negative")
-    sampler = GibbsSampler(model, v_choice=v_choice, v_scheme=v_scheme, rng=rng)
+    sampler = GibbsSampler(
+        model, v_choice=v_choice, v_scheme=v_scheme, rng=rng, engine=engine
+    )
     dag = TupleDAG(tuples)
     stats = SamplingStats()
     if strategy == "tuple_dag":

@@ -77,6 +77,31 @@ class QueryEngine:
 
     def __init__(self, db: ProbabilisticDatabase):
         self.db = db
+        #: the DeriveResult when built via :meth:`from_relation`, else None
+        self.derive_result = None
+
+    @classmethod
+    def from_relation(
+        cls, relation, engine: str | None = None, **derive_kwargs
+    ) -> "QueryEngine":
+        """Derive ``relation``'s probabilistic database and wrap it.
+
+        ``engine`` selects the inference engine used for the derivation
+        (the pipeline default — the compiled batch engine — when omitted,
+        ``"naive"`` for the scalar oracle); remaining keyword arguments are
+        forwarded to
+        :func:`~repro.core.derive.derive_probabilistic_database`.  The
+        derivation diagnostics stay available as ``engine.derive_result``.
+        """
+        # Imported here: repro.core depends on this package.
+        from ..core.derive import derive_probabilistic_database
+
+        if engine is not None:
+            derive_kwargs["engine"] = engine
+        result = derive_probabilistic_database(relation, **derive_kwargs)
+        out = cls(result.database)
+        out.derive_result = result
+        return out
 
     # -- leaf operator ------------------------------------------------------------
 
