@@ -1,20 +1,25 @@
-"""Probabilistic SPJ queries over a derived census database.
+"""Probabilistic SPJ queries over a derived census database, session-style.
 
-End-to-end: generate census-style microdata with dropouts, derive the
-probabilistic database with MRSL, then answer queries with the intensional
-lineage engine — including a self-join that extensional evaluation would
-get wrong — and triage the most uncertain predictions for manual review.
+End-to-end on the new API surface: generate census-style microdata with
+dropouts, open a :class:`repro.Session` (learn once, serve many), derive the
+probabilistic database, then answer queries three ways — the serializable
+JSON query AST, the raw lineage engine for lambda-only queries, and the
+analysis helpers for cleaning triage.
 
 Run:  python examples/census_queries.py
 """
 
+import json
+
 import numpy as np
 
+from repro import Q, SelectionQuery, Session
+from repro.api.config import DeriveConfig
 from repro.bench import mask_relation, print_table
-from repro.core import derive_probabilistic_database
 from repro.datasets import load_census
 from repro.probdb import (
-    QueryEngine,
+    ProbabilisticDatabase,
+    TRUE,
     attribute_distribution,
     rank_blocks_by_entropy,
     top_k_worlds,
@@ -31,11 +36,12 @@ def main() -> None:
     combined = Relation(train.schema, list(train) + list(masked))
     print(f"Census input: {combined}")
 
-    result = derive_probabilistic_database(
-        combined, support_threshold=0.002,
-        num_samples=800, burn_in=100, rng=1,
+    # One typed config, one session: the model is learned once and every
+    # derive/infer/query call below reuses the warm inference engine.
+    session = Session(
+        DeriveConfig(support_threshold=0.002, num_samples=800, burn_in=100, seed=1)
     )
-    db = result.database
+    db = session.derive(combined).database
     print(f"Derived: {len(db.blocks)} blocks over {len(db.certain)} certain rows\n")
 
     # Q1: probabilistic projection — expected income mix across the DB.
@@ -46,13 +52,24 @@ def main() -> None:
         title="Q1: expected income distribution (certain + uncertain rows)",
     )
 
-    # Q2: a selection with lineage over the *uncertain* rows only — which
-    # ages have an imputed high-income, high-wealth member, and with what
-    # probability?  Rows merged by the projection share blocks, so naive
-    # independence math would be wrong; the lineage engine is exact.
-    from repro.probdb import TRUE
+    # Q2: the same query two ways — as a serializable spec (what a remote
+    # client would POST to `repro serve`) and through the raw engine.  The
+    # lineage evaluation is exact where naive independence math is wrong.
+    spec = SelectionQuery(
+        where=Q.and_(Q.eq("income", "high"), Q.eq("wealth", "high")),
+        project=("age",),
+    )
+    print(f"Q2 as JSON: {json.dumps(spec.to_dict())}")
+    results = session.query(spec)
+    print_table(
+        ["age", "P(some high-income, high-wealth row)"],
+        [(t.values[0], round(t.probability, 4)) for t in results],
+        title="Q2: lineage-exact selection + projection (JSON query spec)",
+    )
 
-    engine = QueryEngine(db)
+    # Q2b: lambda-only refinement — restrict to *uncertain* rows (rows whose
+    # lineage is a real block choice), which the wire format cannot express.
+    engine = session.query_engine()
     uncertain = [r for r in engine.scan() if r.event is not TRUE]
     rows = engine.select(
         uncertain,
@@ -62,7 +79,7 @@ def main() -> None:
     print_table(
         ["age", "P(some uncertain high-income, high-wealth row)"],
         [(t.values[0], round(t.probability, 4)) for t in results],
-        title="Q2: lineage-exact selection + projection (uncertain rows)",
+        title="Q2b: the same, over uncertain rows only (lambda path)",
     )
 
     # Q3: cleaning triage — the five most uncertain predictions.
@@ -76,8 +93,6 @@ def main() -> None:
     # Q4: the three most probable completions of the whole uncertain set
     # would be astronomically many worlds; restrict to the 4 most uncertain
     # blocks and enumerate their best joint repairs.
-    from repro.probdb import ProbabilisticDatabase
-
     top_blocks = [db.blocks[i] for _, i in ranked[:4]]
     small = ProbabilisticDatabase(db.schema, [], top_blocks)
     worlds = top_k_worlds(small, 3)

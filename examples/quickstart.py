@@ -1,16 +1,23 @@
-"""Quickstart: derive a probabilistic database from the paper's Fig. 1 data.
+"""Quickstart: the Session API on the paper's Fig. 1 data.
 
 Builds the incomplete matchmaking relation from the paper's running example,
-learns an MRSL model from its 8 complete tuples, infers a probability
-distribution for every incomplete tuple, and answers a probabilistic query.
+opens a :class:`repro.Session` with a typed, JSON-round-trippable
+:class:`repro.DeriveConfig`, derives a probability distribution for every
+incomplete tuple, and answers probabilistic queries — both with the
+serializable query AST (``Q``) and with the extensional helpers.
 
 Run:  python examples/quickstart.py
 """
 
+import json
+
 from repro import (
+    DeriveConfig,
+    Q,
     Relation,
     Schema,
-    derive_probabilistic_database,
+    SelectionQuery,
+    Session,
     expected_count,
 )
 
@@ -48,16 +55,18 @@ def main() -> None:
     relation = Relation.from_rows(SCHEMA, ROWS)
     print(f"Input: {relation}")
 
-    # One call: learn the MRSL ensemble from the complete part, run
-    # Algorithm 2 for single-missing tuples and workload-driven Gibbs
-    # sampling (Algorithm 3) for multi-missing ones.
-    result = derive_probabilistic_database(
-        relation,
-        support_threshold=0.1,
-        num_samples=2000,
-        burn_in=200,
-        rng=0,
+    # One config object carries every pipeline knob and round-trips through
+    # JSON — the same dict works in a file, over a wire, or in a log.
+    config = DeriveConfig(
+        support_threshold=0.1, num_samples=2000, burn_in=200, seed=0
     )
+    config = DeriveConfig.from_dict(config.to_dict())  # JSON round-trip
+    print(f"Config: {json.dumps(config.to_dict())}\n")
+
+    # The session learns the MRSL once, keeps a warm inference engine, and
+    # registers the derived database for querying.
+    session = Session(config)
+    result = session.derive(relation)
     db = result.database
     print(f"Learned model: {result.model}")
     print(f"Derived: {db}\n")
@@ -71,7 +80,14 @@ def main() -> None:
     for completed, prob in t12.completions():
         print(f"  {completed}  p={prob:.3f}")
 
-    # Probabilistic queries run extensionally over the blocks.
+    # Queries are data, not lambdas: this spec serializes to JSON, crosses
+    # any wire, and evaluates exactly via the lineage engine.
+    spec = SelectionQuery(where=Q.eq("nw", "500K"), project=("age",))
+    print(f"\nQuery spec: {json.dumps(spec.to_dict())}")
+    for t in session.query(spec):
+        print(f"  age={t.values[0]}  P(some such profile)={t.probability:.3f}")
+
+    # Extensional helpers still work over the derived database.
     rich = expected_count(db, lambda t: t.value("nw") == "500K")
     print(f"\nExpected number of profiles with net worth 500K: {rich:.2f}")
     young_rich = expected_count(

@@ -48,6 +48,16 @@ from .core import (
     save_model,
     workload_sampling,
 )
+
+# Imported after .core: repro.api reads its defaults from the core modules.
+from .api import (
+    DeriveConfig,
+    InferenceService,
+    Q,
+    SelectionQuery,
+    SelfJoinQuery,
+    Session,
+)
 from .probdb import (
     Distribution,
     PossibleWorld,
@@ -111,4 +121,11 @@ __all__ = [
     "forward_sample_relation",
     "posterior",
     "joint_posterior",
+    # api
+    "DeriveConfig",
+    "Session",
+    "Q",
+    "SelectionQuery",
+    "SelfJoinQuery",
+    "InferenceService",
 ]

@@ -1,0 +1,70 @@
+"""The unified public API surface: typed configs, sessions, queries, service.
+
+This package is the learn-once / serve-many front door to the pipeline:
+
+* :mod:`.config`  — :class:`DeriveConfig`, the single source of truth for
+  every pipeline knob, JSON round-trippable;
+* :mod:`.query`   — the serializable predicate/query AST (:class:`Q`,
+  :class:`SelectionQuery`, :class:`SelfJoinQuery`) that compiles to the
+  lineage :class:`~repro.probdb.engine.QueryEngine`;
+* :mod:`.session` — the :class:`Session` facade: named model registry, one
+  warm batch-inference engine per model, derive/infer/query entry points;
+* :mod:`.service` — typed request/response dataclasses plus
+  :class:`InferenceService`, the JSON dispatch layer;
+* :mod:`.http`    — a stdlib HTTP front-end (``repro serve``).
+
+Submodules other than :mod:`.config` are loaded lazily (PEP 562):
+``repro.core.derive`` imports :mod:`.config` while ``repro.core`` is still
+initializing, and an eager import of :mod:`.session` here would close that
+cycle against a partially-initialized module.
+"""
+
+from importlib import import_module
+
+from .config import DeriveConfig, resolve_config
+
+#: name -> defining submodule, resolved on first attribute access.
+_LAZY = {
+    "Q": ".query",
+    "Predicate": ".query",
+    "Cmp": ".query",
+    "In": ".query",
+    "And": ".query",
+    "Or": ".query",
+    "Not": ".query",
+    "QuerySpec": ".query",
+    "SelectionQuery": ".query",
+    "SelfJoinQuery": ".query",
+    "predicate_from_dict": ".query",
+    "query_from_dict": ".query",
+    "Session": ".session",
+    "SessionError": ".session",
+    "DEFAULT_NAME": ".session",
+    "InferenceService": ".service",
+    "ServiceError": ".service",
+    "LearnRequest": ".service",
+    "LearnResponse": ".service",
+    "DeriveRequest": ".service",
+    "DeriveResponse": ".service",
+    "QueryRequest": ".service",
+    "QueryResponse": ".service",
+    "InferRequest": ".service",
+    "InferResponse": ".service",
+    "make_server": ".http",
+    "serve": ".http",
+}
+
+__all__ = ["DeriveConfig", "resolve_config", *_LAZY]
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module, __name__), name)
+    globals()[name] = value  # cache: subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

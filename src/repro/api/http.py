@@ -1,0 +1,138 @@
+"""A stdlib HTTP front-end for :class:`~repro.api.service.InferenceService`.
+
+No third-party web framework: ``http.server.ThreadingHTTPServer`` carries
+the JSON wire format of :mod:`repro.api.service` for batch traffic.
+
+Routes::
+
+    GET  /v1/health           liveness + registered models/databases
+    POST /v1/learn            LearnRequest   -> LearnResponse
+    POST /v1/derive           DeriveRequest  -> DeriveResponse
+    POST /v1/infer            InferRequest   -> InferResponse
+    POST /v1/query            QueryRequest   -> QueryResponse
+
+Errors come back as ``{"error": {"status": ..., "message": ...}}`` with the
+matching HTTP status.  Start a server with ``repro serve`` on the CLI, or
+programmatically::
+
+    server = make_server(InferenceService(session), port=0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .service import InferenceService, ServiceError
+
+__all__ = ["API_PREFIX", "make_server", "serve"]
+
+API_PREFIX = "/v1/"
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Maps HTTP verbs onto ``InferenceService.handle_json``."""
+
+    #: bound by :func:`make_server` on the per-server subclass
+    service: InferenceService
+    quiet: bool = True
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    def _endpoint(self) -> str | None:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path.startswith(API_PREFIX.rstrip("/") + "/"):
+            return path[len(API_PREFIX):]
+        return None
+
+    def _respond(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        if self._endpoint() == "health":
+            self._respond(200, self.service.handle_json("health", {}))
+        else:
+            self._respond(
+                404, ServiceError("not found; try GET /v1/health", 404).to_dict()
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        endpoint = self._endpoint()
+        if endpoint is None:
+            self._respond(
+                404,
+                ServiceError(
+                    f"not found; endpoints live under {API_PREFIX}", 404
+                ).to_dict(),
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+            payload = json.loads(raw.decode("utf-8") or "{}")
+            body = self.service.handle_json(endpoint, payload)
+            self._respond(200, body)
+        except ServiceError as exc:
+            self._respond(exc.status, exc.to_dict())
+        except json.JSONDecodeError as exc:
+            error = ServiceError(f"request body is not valid JSON: {exc}")
+            self._respond(error.status, error.to_dict())
+        except Exception as exc:  # don't let one request kill the server
+            error = ServiceError(f"internal error: {exc}", status=500)
+            self._respond(error.status, error.to_dict())
+
+
+def make_server(
+    service: InferenceService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Build (but do not start) a threaded HTTP server for ``service``.
+
+    ``port=0`` picks a free port — read it back from
+    ``server.server_address[1]``.
+    """
+    handler = type(
+        "BoundServiceHandler",
+        (_ServiceHandler,),
+        {"service": service, "quiet": quiet},
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve(
+    service: InferenceService,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    quiet: bool = False,
+) -> None:
+    """Serve forever (until KeyboardInterrupt); the ``repro serve`` loop."""
+    server = make_server(service, host=host, port=port, quiet=quiet)
+    actual_port = server.server_address[1]
+    print(
+        f"repro serve: listening on http://{host}:{actual_port}{API_PREFIX} "
+        f"(models: {list(service.session.models) or '-'}, "
+        f"databases: {list(service.session.databases) or '-'})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

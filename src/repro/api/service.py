@@ -1,0 +1,411 @@
+"""Typed request/response service layer: the JSON wire format.
+
+:class:`InferenceService` wraps one :class:`~repro.api.session.Session` and
+exposes four endpoints — ``learn``, ``derive``, ``infer``, ``query`` — each
+with a frozen request/response dataclass pair that round-trips through plain
+JSON.  :meth:`InferenceService.handle_json` is the transport-agnostic
+dispatch used by the stdlib HTTP front-end (:mod:`repro.api.http`) and by
+tests that drive the wire format in-process.
+
+Wire conventions: relations travel as ``schema`` (an ordered mapping of
+attribute name to domain list) plus ``rows`` (lists of values with ``"?"``
+marking missing, exactly as the CSV format); queries travel as the
+serializable AST of :mod:`repro.api.query`; configs as
+:meth:`~repro.api.config.DeriveConfig.to_dict` mappings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..relational.relation import Relation
+from ..relational.schema import Attribute, Schema
+from ..relational.tuples import RelTuple
+from .query import query_from_dict
+from .session import DEFAULT_NAME, Session, SessionError
+
+__all__ = [
+    "ServiceError",
+    "LearnRequest",
+    "LearnResponse",
+    "DeriveRequest",
+    "DeriveResponse",
+    "InferRequest",
+    "InferResponse",
+    "QueryRequest",
+    "QueryResponse",
+    "InferenceService",
+]
+
+
+class ServiceError(Exception):
+    """A request-level failure with an HTTP-style status code."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.message = message
+        self.status = status
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"error": {"status": self.status, "message": self.message}}
+
+
+def _require(payload: Mapping[str, Any], key: str) -> Any:
+    try:
+        return payload[key]
+    except KeyError:
+        raise ServiceError(f"request is missing required field {key!r}") from None
+
+
+def _rows(value: Any) -> tuple[tuple[Any, ...], ...]:
+    return tuple(tuple(row) for row in value)
+
+
+def _schema_dict(schema: Schema) -> dict[str, list[Any]]:
+    return {attr.name: list(attr.domain) for attr in schema}
+
+
+def _schema_from_mapping(mapping: Mapping[str, Sequence[Any]]) -> Schema:
+    return Schema(Attribute(name, domain) for name, domain in mapping.items())
+
+
+# -- learn ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LearnRequest:
+    """Learn an MRSL model from complete rows and register it by name."""
+
+    schema: Mapping[str, Sequence[Any]]
+    rows: tuple[tuple[Any, ...], ...]
+    model: str = DEFAULT_NAME
+    config: Mapping[str, Any] | None = None
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "LearnRequest":
+        return cls(
+            schema=dict(_require(payload, "schema")),
+            rows=_rows(_require(payload, "rows")),
+            model=payload.get("model", DEFAULT_NAME),
+            config=payload.get("config"),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": {k: list(v) for k, v in self.schema.items()},
+            "rows": [list(r) for r in self.rows],
+            "model": self.model,
+            "config": None if self.config is None else dict(self.config),
+        }
+
+
+@dataclass(frozen=True)
+class LearnResponse:
+    model: str
+    attributes: tuple[str, ...]
+    meta_rules: int
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "LearnResponse":
+        return cls(
+            model=_require(payload, "model"),
+            attributes=tuple(_require(payload, "attributes")),
+            meta_rules=int(_require(payload, "meta_rules")),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "model": self.model,
+            "attributes": list(self.attributes),
+            "meta_rules": self.meta_rules,
+        }
+
+
+# -- derive ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeriveRequest:
+    """Derive a probabilistic database from incomplete rows.
+
+    ``schema`` may be omitted when ``model`` names an already-registered
+    model (the rows are then read under the model's schema).
+    ``include_blocks`` controls whether the response carries the full
+    per-block completion lists or only the counts.
+    """
+
+    rows: tuple[tuple[Any, ...], ...]
+    schema: Mapping[str, Sequence[Any]] | None = None
+    model: str | None = None
+    name: str = DEFAULT_NAME
+    config: Mapping[str, Any] | None = None
+    include_blocks: bool = True
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DeriveRequest":
+        schema = payload.get("schema")
+        return cls(
+            rows=_rows(_require(payload, "rows")),
+            schema=None if schema is None else dict(schema),
+            model=payload.get("model"),
+            name=payload.get("name", DEFAULT_NAME),
+            config=payload.get("config"),
+            include_blocks=bool(payload.get("include_blocks", True)),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rows": [list(r) for r in self.rows],
+            "schema": (
+                None
+                if self.schema is None
+                else {k: list(v) for k, v in self.schema.items()}
+            ),
+            "model": self.model,
+            "name": self.name,
+            "config": None if self.config is None else dict(self.config),
+            "include_blocks": self.include_blocks,
+        }
+
+
+@dataclass(frozen=True)
+class DeriveResponse:
+    """Counts plus (optionally) the derived blocks in Fig. 1 call-out form."""
+
+    name: str
+    model: str
+    num_certain: int
+    num_blocks: int
+    blocks: tuple[dict[str, Any], ...] = ()
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DeriveResponse":
+        return cls(
+            name=_require(payload, "name"),
+            model=_require(payload, "model"),
+            num_certain=int(_require(payload, "num_certain")),
+            num_blocks=int(_require(payload, "num_blocks")),
+            blocks=tuple(payload.get("blocks", ())),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "model": self.model,
+            "num_certain": self.num_certain,
+            "num_blocks": self.num_blocks,
+            "blocks": list(self.blocks),
+        }
+
+
+# -- infer ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InferRequest:
+    """Algorithm 2 CPDs for single-missing rows under a registered model."""
+
+    rows: tuple[tuple[Any, ...], ...]
+    model: str = DEFAULT_NAME
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "InferRequest":
+        return cls(
+            rows=_rows(_require(payload, "rows")),
+            model=payload.get("model", DEFAULT_NAME),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"rows": [list(r) for r in self.rows], "model": self.model}
+
+
+@dataclass(frozen=True)
+class InferResponse:
+    """One CPD per request row: attribute name, outcomes, probabilities."""
+
+    cpds: tuple[dict[str, Any], ...]
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "InferResponse":
+        return cls(cpds=tuple(_require(payload, "cpds")))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"cpds": list(self.cpds)}
+
+
+# -- query ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """Evaluate a serialized query spec against a derived database."""
+
+    query: Mapping[str, Any]
+    database: str = DEFAULT_NAME
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "QueryRequest":
+        return cls(
+            query=dict(_require(payload, "query")),
+            database=payload.get("database", DEFAULT_NAME),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"query": dict(self.query), "database": self.database}
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """Result tuples with exact probabilities, sorted descending."""
+
+    attributes: tuple[str, ...] = ()
+    results: tuple[dict[str, Any], ...] = ()
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "QueryResponse":
+        return cls(
+            attributes=tuple(payload.get("attributes", ())),
+            results=tuple(_require(payload, "results")),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "attributes": list(self.attributes),
+            "results": list(self.results),
+        }
+
+
+# -- the service ----------------------------------------------------------
+
+
+class InferenceService:
+    """JSON-facing dispatch over one :class:`Session`."""
+
+    def __init__(self, session: Session | None = None):
+        self.session = session if session is not None else Session()
+
+    # -- typed endpoints ---------------------------------------------------
+
+    def learn(self, request: LearnRequest) -> LearnResponse:
+        schema = _schema_from_mapping(request.schema)
+        relation = Relation.from_rows(schema, request.rows)
+        model = self.session.learn(
+            relation, model=request.model, config=request.config
+        )
+        return LearnResponse(
+            model=request.model,
+            attributes=tuple(attr.name for attr in model.schema),
+            meta_rules=model.size(),
+        )
+
+    def derive(self, request: DeriveRequest) -> DeriveResponse:
+        model_name = request.model if request.model is not None else request.name
+        if request.schema is not None:
+            schema = _schema_from_mapping(request.schema)
+        elif model_name in self.session.models:
+            schema = self.session.model(model_name).schema
+        else:
+            raise ServiceError(
+                "derive request needs a 'schema' unless 'model' names a "
+                "registered model"
+            )
+        relation = Relation.from_rows(schema, request.rows)
+        result = self.session.derive(
+            relation,
+            name=request.name,
+            model=model_name,
+            config=request.config,
+        )
+        db = result.database
+        blocks: tuple[dict[str, Any], ...] = ()
+        if request.include_blocks:
+            blocks = tuple(
+                {
+                    "id": i,
+                    "base": list(block.base.values()),
+                    "completions": [
+                        {"values": list(completed.values()), "prob": float(p)}
+                        for completed, p in block.completions()
+                    ],
+                }
+                for i, block in enumerate(db.blocks)
+            )
+        return DeriveResponse(
+            name=request.name,
+            model=model_name,
+            num_certain=len(db.certain),
+            num_blocks=len(db.blocks),
+            blocks=blocks,
+        )
+
+    def infer(self, request: InferRequest) -> InferResponse:
+        schema = self.session.model(request.model).schema
+        tuples = [RelTuple.from_values(schema, row) for row in request.rows]
+        dists = self.session.infer_batch(tuples, model=request.model)
+        cpds = tuple(
+            {
+                "attribute": schema[t.missing_positions[0]].name,
+                "outcomes": list(dist.outcomes),
+                "probs": [float(p) for p in dist.probs],
+            }
+            for t, dist in zip(tuples, dists)
+        )
+        return InferResponse(cpds=cpds)
+
+    def query(self, request: QueryRequest) -> QueryResponse:
+        spec = query_from_dict(request.query)
+        results = self.session.query(spec, database=request.database)
+        attributes = results[0].attributes if results else ()
+        return QueryResponse(
+            attributes=tuple(attributes),
+            results=tuple(
+                {"values": list(t.values), "probability": float(t.probability)}
+                for t in results
+            ),
+        )
+
+    def health(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "models": list(self.session.models),
+            "databases": list(self.session.databases),
+            "config": self.session.config.to_dict(),
+        }
+
+    # -- JSON dispatch -----------------------------------------------------
+
+    #: endpoint name -> (request parser, handler attribute)
+    ENDPOINTS = {
+        "learn": (LearnRequest, "learn"),
+        "derive": (DeriveRequest, "derive"),
+        "infer": (InferRequest, "infer"),
+        "query": (QueryRequest, "query"),
+    }
+
+    def handle_json(
+        self, endpoint: str, payload: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        """Dispatch one JSON request; raises :class:`ServiceError` on failure."""
+        if endpoint == "health":
+            return self.health()
+        entry = self.ENDPOINTS.get(endpoint)
+        if entry is None:
+            raise ServiceError(
+                f"unknown endpoint {endpoint!r}; "
+                f"valid: {sorted(self.ENDPOINTS)} and 'health'",
+                status=404,
+            )
+        request_cls, handler_name = entry
+        if not isinstance(payload, Mapping):
+            raise ServiceError("request body must be a JSON object")
+        try:
+            request = request_cls.from_dict(payload)
+            response = getattr(self, handler_name)(request)
+        except ServiceError:
+            raise
+        except SessionError as exc:
+            raise ServiceError(str(exc), status=404) from exc
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"bad request: {exc}") from exc
+        return response.to_dict()

@@ -1,0 +1,224 @@
+"""The :class:`Session` facade: learn an MRSL once, serve it many times.
+
+A session holds one :class:`~repro.api.config.DeriveConfig`, a registry of
+named MRSL models (each with a warm, CPD-cache-carrying
+:class:`~repro.core.engine.BatchInferenceEngine`), and a registry of named
+derived databases.  The three serving entry points are:
+
+* :meth:`Session.derive`      — relation in, probabilistic database out,
+  reusing the registered model and warm engine instead of re-learning;
+* :meth:`Session.infer_batch` — Algorithm 2 distributions for a batch of
+  single-missing tuples straight from the warm engine;
+* :meth:`Session.query`       — evaluate a lambda-free, serializable query
+  spec (or a plain dict of one) against a derived database.
+
+Models persist through :mod:`repro.core.persistence`
+(:meth:`Session.save_model` / :meth:`Session.load_model`), so the off-line
+learning step and the on-line serving step can live in different processes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from ..core.derive import DeriveResult, derive_probabilistic_database
+from ..core.engine import BatchInferenceEngine
+from ..core.learning import learn_mrsl
+from ..core.mrsl import MRSLModel
+from ..core.persistence import load_model as _load_model
+from ..core.persistence import save_model as _save_model
+from ..probdb.database import ProbabilisticDatabase
+from ..probdb.distribution import Distribution
+from ..probdb.engine import QueryEngine, ResultTuple
+from ..relational.relation import Relation
+from ..relational.tuples import RelTuple
+from .config import DeriveConfig, resolve_config
+from .query import Predicate, QuerySpec, SelectionQuery, query_from_dict
+
+__all__ = ["DEFAULT_NAME", "Session", "SessionError"]
+
+#: Registry key used when the caller does not name a model or database.
+DEFAULT_NAME = "default"
+
+
+class SessionError(LookupError):
+    """An unknown model or database name was referenced."""
+
+
+class Session:
+    """Learn-once / serve-many facade over the derivation pipeline."""
+
+    def __init__(
+        self, config: DeriveConfig | Mapping[str, Any] | None = None
+    ):
+        self.config = resolve_config(config)
+        self._models: dict[str, MRSLModel] = {}
+        self._engines: dict[str, BatchInferenceEngine] = {}
+        self._results: dict[str, DeriveResult] = {}
+
+    def _per_call_config(
+        self, config: DeriveConfig | Mapping[str, Any] | None
+    ) -> DeriveConfig:
+        """Resolve a per-call override against the *session's* config.
+
+        A mapping is a partial override: unspecified knobs keep their
+        session values, not the global defaults.
+        """
+        if config is None:
+            return self.config
+        if isinstance(config, DeriveConfig):
+            return config
+        return resolve_config(self.config, **dict(config))
+
+    # -- model registry ----------------------------------------------------
+
+    @property
+    def models(self) -> tuple[str, ...]:
+        """Registered model names, sorted."""
+        return tuple(sorted(self._models))
+
+    @property
+    def databases(self) -> tuple[str, ...]:
+        """Derived database names, sorted."""
+        return tuple(sorted(self._results))
+
+    def register_model(self, name: str, model: MRSLModel) -> MRSLModel:
+        """Register (or replace) a model; its warm engine rebuilds lazily."""
+        self._models[name] = model
+        self._engines.pop(name, None)
+        return model
+
+    def model(self, name: str = DEFAULT_NAME) -> MRSLModel:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise SessionError(
+                f"no model {name!r}; registered: {list(self.models)}"
+            ) from None
+
+    def learn(
+        self,
+        relation: Relation,
+        model: str = DEFAULT_NAME,
+        config: DeriveConfig | Mapping[str, Any] | None = None,
+    ) -> MRSLModel:
+        """Run Algorithm 1 on ``relation`` and register the result."""
+        cfg = self._per_call_config(config)
+        result = learn_mrsl(
+            relation,
+            support_threshold=cfg.support_threshold,
+            max_itemsets=cfg.max_itemsets,
+        )
+        return self.register_model(model, result.model)
+
+    def save_model(self, path: str | Path, model: str = DEFAULT_NAME) -> None:
+        """Persist a registered model as JSON (``core.persistence``)."""
+        _save_model(self.model(model), path)
+
+    def load_model(
+        self, path: str | Path, model: str = DEFAULT_NAME
+    ) -> MRSLModel:
+        """Load a persisted model and register it under ``model``."""
+        return self.register_model(model, _load_model(path))
+
+    def engine(self, model: str = DEFAULT_NAME) -> BatchInferenceEngine:
+        """The warm batch-inference engine for a registered model.
+
+        Built on first use and kept for the session's lifetime, so its
+        compiled structures and CPD cache are shared by every derive and
+        infer call that touches the model.
+        """
+        engine = self._engines.get(model)
+        if engine is None:
+            engine = BatchInferenceEngine(
+                self.model(model), self.config.v_choice, self.config.v_scheme
+            )
+            self._engines[model] = engine
+        return engine
+
+    # -- serving entry points ----------------------------------------------
+
+    def derive(
+        self,
+        relation: Relation,
+        name: str = DEFAULT_NAME,
+        model: str | None = None,
+        config: DeriveConfig | Mapping[str, Any] | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> DeriveResult:
+        """Derive ``relation``'s probabilistic database and register it.
+
+        Uses the registered model named ``model`` (default: ``name``),
+        learning and registering it from ``relation`` first if absent — so
+        the first call learns and every later call only infers.  The result
+        is registered as database ``name`` for :meth:`query`.
+        """
+        cfg = self._per_call_config(config)
+        model_name = name if model is None else model
+        if model_name not in self._models:
+            self.learn(relation, model=model_name, config=cfg)
+        result = derive_probabilistic_database(
+            relation,
+            config=cfg,
+            rng=rng,
+            model=self._models[model_name],
+            batch_engine=self.engine(model_name),
+        )
+        self._results[name] = result
+        return result
+
+    def infer_batch(
+        self,
+        tuples: Iterable[RelTuple],
+        model: str = DEFAULT_NAME,
+    ) -> list[Distribution]:
+        """Algorithm 2 distributions for single-missing tuples, batched."""
+        return self.engine(model).infer_batch(list(tuples))
+
+    # -- derived databases and queries -------------------------------------
+
+    def result(self, name: str = DEFAULT_NAME) -> DeriveResult:
+        try:
+            return self._results[name]
+        except KeyError:
+            raise SessionError(
+                f"no derived database {name!r}; "
+                f"derived: {list(self.databases)}"
+            ) from None
+
+    def database(self, name: str = DEFAULT_NAME) -> ProbabilisticDatabase:
+        return self.result(name).database
+
+    def query_engine(self, name: str = DEFAULT_NAME) -> QueryEngine:
+        """A lineage query engine over a derived database."""
+        return QueryEngine(self.database(name))
+
+    def query(
+        self,
+        spec: QuerySpec | Predicate | Mapping[str, Any],
+        database: str = DEFAULT_NAME,
+    ) -> list[ResultTuple]:
+        """Evaluate a query spec (or its JSON dict, or a bare predicate).
+
+        A bare :class:`~repro.api.query.Predicate` is treated as a
+        selection over all attributes.
+        """
+        if isinstance(spec, Mapping):
+            spec = query_from_dict(spec)
+        elif isinstance(spec, Predicate):
+            spec = SelectionQuery(where=spec)
+        elif not isinstance(spec, QuerySpec):
+            raise TypeError(
+                f"spec must be a QuerySpec, Predicate, or mapping, "
+                f"got {type(spec).__name__}"
+            )
+        return spec.run(self.query_engine(database))
+
+    def __repr__(self) -> str:
+        return (
+            f"Session({len(self._models)} models, "
+            f"{len(self._results)} databases, config={self.config})"
+        )

@@ -5,11 +5,19 @@ Usage::
     python -m repro derive data.csv --support 0.01 --output blocks.csv
     python -m repro inspect data.csv --support 0.01 --attribute age
     python -m repro learn data.csv --support 0.01 --model model.json
+    python -m repro serve data.csv --port 8642
 
 ``derive`` reads an incomplete CSV (``"?"`` marks missing values), learns
 the MRSL model, infers a distribution for every incomplete tuple, and writes
 the probabilistic relation: one row per completion, with a ``block`` id and
 a ``prob`` column — the format of the paper's Fig. 1 call-out.
+
+``serve`` starts the JSON inference service (:mod:`repro.api`) over stdlib
+HTTP, optionally deriving a database from a CSV at startup so queries can be
+answered immediately.
+
+Every pipeline default is read from :class:`~repro.api.config.DeriveConfig`,
+so the CLI can never drift from the library again.
 """
 
 from __future__ import annotations
@@ -19,14 +27,19 @@ import csv
 import sys
 from pathlib import Path
 
+from .api.config import DeriveConfig
 from .bench.reporting import format_table
 from .core.derive import derive_probabilistic_database
-from .core.engine import DEFAULT_ENGINE, ENGINES
+from .core.engine import ENGINES
+from .core.inference import VoterChoice, VotingScheme
 from .core.learning import learn_mrsl
 from .core.persistence import load_model, save_model
 from .relational.io import read_csv
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "config_from_args"]
+
+#: The single source of truth for every pipeline default.
+DEFAULTS = DeriveConfig()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,40 +50,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("input", type=Path, help="incomplete CSV ('?' = missing)")
+    def common(p: argparse.ArgumentParser, input_required: bool = True) -> None:
+        if input_required:
+            p.add_argument(
+                "input", type=Path, help="incomplete CSV ('?' = missing)"
+            )
         p.add_argument(
-            "--support", type=float, default=0.01,
-            help="Apriori support threshold theta (default 0.01)",
+            "--support", type=float, default=DEFAULTS.support_threshold,
+            help="Apriori support threshold theta "
+            f"(default {DEFAULTS.support_threshold})",
         )
         p.add_argument(
-            "--max-itemsets", type=int, default=1000,
-            help="per-round frequent itemset cap (default 1000)",
+            "--max-itemsets", type=int, default=DEFAULTS.max_itemsets,
+            help="per-round frequent itemset cap "
+            f"(default {DEFAULTS.max_itemsets})",
+        )
+
+    def pipeline(p: argparse.ArgumentParser) -> None:
+        """Knobs shared by every command that runs the full pipeline."""
+        p.add_argument(
+            "--voters", choices=[v.value for v in VoterChoice],
+            default=DEFAULTS.v_choice,
+        )
+        p.add_argument(
+            "--voting", choices=[v.value for v in VotingScheme],
+            default=DEFAULTS.v_scheme,
+        )
+        p.add_argument(
+            "--engine", choices=list(ENGINES), default=DEFAULTS.engine,
+            help="inference engine: 'compiled' batches voting by evidence "
+            "signature; 'naive' is the scalar reference path (default: "
+            f"{DEFAULTS.engine})",
+        )
+        p.add_argument(
+            "--samples", type=int, default=DEFAULTS.num_samples,
+            help="Gibbs samples per multi-missing tuple "
+            f"(default {DEFAULTS.num_samples})",
+        )
+        p.add_argument(
+            "--burn-in", type=int, default=DEFAULTS.burn_in,
+            help=f"Gibbs burn-in sweeps (default {DEFAULTS.burn_in})",
+        )
+        p.add_argument(
+            "--seed", type=int, default=DEFAULTS.seed,
+            help="sampler seed (default: fresh entropy)",
         )
 
     derive = sub.add_parser("derive", help="derive the probabilistic relation")
     common(derive)
+    pipeline(derive)
     derive.add_argument(
         "--output", type=Path, default=None,
         help="output CSV (default: stdout)",
     )
-    derive.add_argument(
-        "--voters", choices=["all", "best", "root"], default="best"
-    )
-    derive.add_argument(
-        "--voting", choices=["averaged", "weighted", "log_pool"],
-        default="averaged",
-    )
-    derive.add_argument(
-        "--engine", choices=list(ENGINES), default=DEFAULT_ENGINE,
-        help="inference engine: 'compiled' batches voting by evidence "
-        "signature; 'naive' is the scalar reference path (default: "
-        f"{DEFAULT_ENGINE})",
-    )
-    derive.add_argument("--samples", type=int, default=2000,
-                        help="Gibbs samples per multi-missing tuple")
-    derive.add_argument("--burn-in", type=int, default=200)
-    derive.add_argument("--seed", type=int, default=0)
 
     inspect = sub.add_parser("inspect", help="print a learned semi-lattice")
     common(inspect)
@@ -85,22 +117,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     show = sub.add_parser("model-info", help="summarize a saved model")
     show.add_argument("model", type=Path, help="JSON model path")
+
+    serve = sub.add_parser(
+        "serve", help="serve the JSON inference API over HTTP"
+    )
+    serve.add_argument(
+        "input", type=Path, nargs="?", default=None,
+        help="optional incomplete CSV to derive at startup "
+        "(registered as model/database 'default')",
+    )
+    common(serve, input_required=False)
+    pipeline(serve)
+    serve.add_argument(
+        "--model", type=Path, default=None,
+        help="preload a saved MRSL model JSON as 'default'",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
     return parser
+
+
+def config_from_args(args: argparse.Namespace) -> DeriveConfig:
+    """The :class:`DeriveConfig` an argparse namespace describes."""
+    return DeriveConfig(
+        support_threshold=args.support,
+        max_itemsets=args.max_itemsets,
+        v_choice=getattr(args, "voters", DEFAULTS.v_choice),
+        v_scheme=getattr(args, "voting", DEFAULTS.v_scheme),
+        num_samples=getattr(args, "samples", DEFAULTS.num_samples),
+        burn_in=getattr(args, "burn_in", DEFAULTS.burn_in),
+        seed=getattr(args, "seed", DEFAULTS.seed),
+        engine=getattr(args, "engine", DEFAULTS.engine),
+    )
 
 
 def _cmd_derive(args: argparse.Namespace) -> int:
     relation = read_csv(args.input)
-    result = derive_probabilistic_database(
-        relation,
-        support_threshold=args.support,
-        max_itemsets=args.max_itemsets,
-        v_choice=args.voters,
-        v_scheme=args.voting,
-        num_samples=args.samples,
-        burn_in=args.burn_in,
-        rng=args.seed,
-        engine=args.engine,
-    )
+    result = derive_probabilistic_database(relation, config=config_from_args(args))
     db = result.database
     out = args.output.open("w", newline="") if args.output else sys.stdout
     try:
@@ -180,6 +233,28 @@ def _cmd_model_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so the lighter subcommands never pay for the API layer.
+    from .api.http import serve
+    from .api.service import InferenceService
+    from .api.session import Session
+
+    session = Session(config_from_args(args))
+    if args.model is not None:
+        session.load_model(args.model)
+        print(f"loaded model 'default' from {args.model}", file=sys.stderr)
+    if args.input is not None:
+        relation = read_csv(args.input)
+        result = session.derive(relation)
+        print(
+            f"derived database 'default': {len(result.database.blocks)} "
+            f"blocks over {len(result.database.certain)} certain tuples",
+            file=sys.stderr,
+        )
+    serve(InferenceService(session), host=args.host, port=args.port)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -187,6 +262,7 @@ def main(argv: list[str] | None = None) -> int:
         "inspect": _cmd_inspect,
         "learn": _cmd_learn,
         "model-info": _cmd_model_info,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -17,12 +17,15 @@ from ..probdb.blocks import TupleBlock
 from ..probdb.database import ProbabilisticDatabase
 from ..probdb.distribution import Distribution
 from ..relational.relation import Relation
-from .engine import DEFAULT_ENGINE, BatchInferenceEngine, validate_engine
+from .engine import BatchInferenceEngine
 from .inference import VoterChoice, VotingScheme, infer_single
-from .itemsets import DEFAULT_MAX_ITEMSETS
 from .learning import LearnResult, learn_mrsl
 from .mrsl import MRSLModel
 from .tuple_dag import SamplingStats, workload_sampling
+
+# Imported last: repro.api.config reads its defaults from core leaf modules
+# (engine, itemsets, inference, tuple_dag), all fully initialized by now.
+from ..api.config import DeriveConfig, resolve_config
 
 __all__ = [
     "DeriveResult",
@@ -33,11 +36,15 @@ __all__ = [
 
 @dataclass
 class DeriveResult:
-    """A derived probabilistic database plus the model and cost diagnostics."""
+    """A derived probabilistic database plus the model and cost diagnostics.
+
+    ``learn_result`` is ``None`` when derivation reused a pre-learned model
+    (the session / learn-once path) instead of running Algorithm 1.
+    """
 
     database: ProbabilisticDatabase
     model: MRSLModel
-    learn_result: LearnResult
+    learn_result: LearnResult | None
     sampling_stats: SamplingStats
 
 
@@ -55,21 +62,27 @@ def _single_missing_block(
 def single_missing_blocks(
     tuples,
     model: MRSLModel,
-    v_choice: VoterChoice | str,
-    v_scheme: VotingScheme | str,
-    engine: str = DEFAULT_ENGINE,
+    v_choice: VoterChoice | str | None = None,
+    v_scheme: VotingScheme | str | None = None,
+    engine: str | None = None,
     batch_engine: BatchInferenceEngine | None = None,
+    config: DeriveConfig | None = None,
 ) -> list[TupleBlock]:
     """Blocks for a batch of single-missing tuples under the chosen engine.
 
     The compiled path groups the whole batch by evidence signature and
     serves each group with one matrix combine; the naive path loops
-    tuple-at-a-time and is kept as the correctness oracle.
+    tuple-at-a-time and is kept as the correctness oracle.  Voting and
+    engine knobs default to ``config`` (itself defaulting to
+    :class:`~repro.api.config.DeriveConfig`); explicit arguments win.
     """
+    cfg = resolve_config(
+        config, v_choice=v_choice, v_scheme=v_scheme, engine=engine
+    )
     tuples = list(tuples)
-    v_choice = VoterChoice(v_choice)
-    v_scheme = VotingScheme(v_scheme)
-    if validate_engine(engine) == "naive":
+    v_choice = VoterChoice(cfg.v_choice)
+    v_scheme = VotingScheme(cfg.v_scheme)
+    if cfg.engine == "naive":
         return [
             _single_missing_block(t, model, v_choice, v_scheme) for t in tuples
         ]
@@ -95,15 +108,18 @@ def single_missing_blocks(
 
 def derive_probabilistic_database(
     relation: Relation,
-    support_threshold: float = 0.01,
-    max_itemsets: int = DEFAULT_MAX_ITEMSETS,
-    v_choice: VoterChoice | str = VoterChoice.BEST,
-    v_scheme: VotingScheme | str = VotingScheme.AVERAGED,
-    num_samples: int = 2000,
-    burn_in: int = 100,
-    strategy: str = "tuple_dag",
+    support_threshold: float | None = None,
+    max_itemsets: int | None = None,
+    v_choice: VoterChoice | str | None = None,
+    v_scheme: VotingScheme | str | None = None,
+    num_samples: int | None = None,
+    burn_in: int | None = None,
+    strategy: str | None = None,
     rng: np.random.Generator | int | None = None,
-    engine: str = DEFAULT_ENGINE,
+    engine: str | None = None,
+    config: DeriveConfig | None = None,
+    model: MRSLModel | None = None,
+    batch_engine: BatchInferenceEngine | None = None,
 ) -> DeriveResult:
     """Derive the disjoint-independent probabilistic model for ``relation``.
 
@@ -123,22 +139,48 @@ def derive_probabilistic_database(
         Multi-attribute workload strategy; see
         :func:`~repro.core.tuple_dag.workload_sampling`.
     rng:
-        Seed or generator for the samplers (reproducibility).
+        Seed or generator for the samplers; defaults to ``config.seed``.
     engine:
         ``"compiled"`` (default) batches single-missing inference by
         evidence signature and serves Gibbs CPDs from the compiled rule
         matrix; ``"naive"`` keeps the scalar reference path.
+    config:
+        A :class:`~repro.api.config.DeriveConfig` supplying every knob not
+        given explicitly (explicit keyword arguments win).
+    model:
+        A pre-learned MRSL model.  When given, Algorithm 1 is skipped and
+        the result's ``learn_result`` is ``None`` — the learn-once /
+        serve-many path used by :class:`~repro.api.session.Session`.
+    batch_engine:
+        A warm :class:`BatchInferenceEngine` over ``model`` to reuse across
+        derivations (its CPD cache carries over).
 
     Returns a :class:`DeriveResult`; its ``database`` holds the complete
     tuples as certain rows and one block per incomplete tuple.
     """
-    engine = validate_engine(engine)
-    learn_result = learn_mrsl(
-        relation, support_threshold=support_threshold, max_itemsets=max_itemsets
+    cfg = resolve_config(
+        config,
+        support_threshold=support_threshold,
+        max_itemsets=max_itemsets,
+        v_choice=v_choice,
+        v_scheme=v_scheme,
+        num_samples=num_samples,
+        burn_in=burn_in,
+        strategy=strategy,
+        engine=engine,
     )
-    model = learn_result.model
-    v_choice = VoterChoice(v_choice)
-    v_scheme = VotingScheme(v_scheme)
+    if rng is None:
+        rng = cfg.seed
+    learn_result = None
+    if model is None:
+        learn_result = learn_mrsl(
+            relation,
+            support_threshold=cfg.support_threshold,
+            max_itemsets=cfg.max_itemsets,
+        )
+        model = learn_result.model
+    v_choice = VoterChoice(cfg.v_choice)
+    v_scheme = VotingScheme(cfg.v_scheme)
 
     single = []
     multi = []
@@ -149,7 +191,12 @@ def derive_probabilistic_database(
             multi.append(t)
 
     blocks: list[TupleBlock] = single_missing_blocks(
-        single, model, v_choice, v_scheme, engine=engine
+        single,
+        model,
+        v_choice,
+        v_scheme,
+        engine=cfg.engine,
+        batch_engine=batch_engine,
     )
 
     stats = SamplingStats()
@@ -157,13 +204,13 @@ def derive_probabilistic_database(
         multi_blocks, stats = workload_sampling(
             model,
             multi,
-            num_samples=num_samples,
-            burn_in=burn_in,
-            strategy=strategy,
+            num_samples=cfg.num_samples,
+            burn_in=cfg.burn_in,
+            strategy=cfg.strategy,
             v_choice=v_choice,
             v_scheme=v_scheme,
             rng=rng,
-            engine=engine,
+            engine=cfg.engine,
         )
         blocks.extend(multi_blocks)
 

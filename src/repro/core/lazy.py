@@ -17,13 +17,14 @@ from typing import Callable, Iterator
 
 import numpy as np
 
+from ..api.config import DeriveConfig, resolve_config
 from ..probdb.blocks import TupleBlock
 from ..probdb.database import ProbabilisticDatabase
 from ..probdb.distribution import Distribution
 from ..relational.relation import Relation
 from ..relational.tuples import RelTuple
 from .derive import single_missing_blocks
-from .engine import DEFAULT_ENGINE, BatchInferenceEngine, validate_engine
+from .engine import BatchInferenceEngine
 from .inference import VoterChoice, VotingScheme
 from .learning import learn_mrsl
 from .tuple_dag import workload_sampling
@@ -41,26 +42,46 @@ class LazyDeriver:
     def __init__(
         self,
         relation: Relation,
-        support_threshold: float = 0.01,
-        v_choice: VoterChoice | str = VoterChoice.BEST,
-        v_scheme: VotingScheme | str = VotingScheme.AVERAGED,
-        num_samples: int = 2000,
-        burn_in: int = 100,
+        support_threshold: float | None = None,
+        v_choice: VoterChoice | str | None = None,
+        v_scheme: VotingScheme | str | None = None,
+        num_samples: int | None = None,
+        burn_in: int | None = None,
         rng: np.random.Generator | int | None = None,
-        engine: str = DEFAULT_ENGINE,
+        engine: str | None = None,
+        max_itemsets: int | None = None,
+        strategy: str | None = None,
+        config: DeriveConfig | None = None,
     ):
+        cfg = resolve_config(
+            config,
+            support_threshold=support_threshold,
+            max_itemsets=max_itemsets,
+            v_choice=v_choice,
+            v_scheme=v_scheme,
+            num_samples=num_samples,
+            burn_in=burn_in,
+            strategy=strategy,
+            engine=engine,
+        )
+        self.config = cfg
         self.relation = relation
         self.model = learn_mrsl(
-            relation, support_threshold=support_threshold
+            relation,
+            support_threshold=cfg.support_threshold,
+            max_itemsets=cfg.max_itemsets,
         ).model
-        self.v_choice = VoterChoice(v_choice)
-        self.v_scheme = VotingScheme(v_scheme)
-        self.num_samples = num_samples
-        self.burn_in = burn_in
+        self.v_choice = VoterChoice(cfg.v_choice)
+        self.v_scheme = VotingScheme(cfg.v_scheme)
+        self.num_samples = cfg.num_samples
+        self.burn_in = cfg.burn_in
+        self.strategy = cfg.strategy
+        if rng is None:
+            rng = cfg.seed
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
         self._rng = rng
-        self.engine = validate_engine(engine)
+        self.engine = cfg.engine
         self._batch_engine = (
             BatchInferenceEngine(self.model, self.v_choice, self.v_scheme)
             if self.engine == "compiled"
@@ -92,6 +113,7 @@ class LazyDeriver:
                 [t],
                 num_samples=self.num_samples,
                 burn_in=self.burn_in,
+                strategy=self.strategy,
                 v_choice=self.v_choice,
                 v_scheme=self.v_scheme,
                 rng=self._rng,
@@ -120,6 +142,7 @@ class LazyDeriver:
                 multi,
                 num_samples=self.num_samples,
                 burn_in=self.burn_in,
+                strategy=self.strategy,
                 v_choice=self.v_choice,
                 v_scheme=self.v_scheme,
                 rng=self._rng,

@@ -31,7 +31,10 @@ from .gibbs import GibbsChain, GibbsSampler, samples_to_distribution
 from .inference import VoterChoice, VotingScheme
 from .mrsl import MRSLModel
 
-__all__ = ["SamplingStats", "TupleDAG", "workload_sampling"]
+__all__ = ["STRATEGIES", "SamplingStats", "TupleDAG", "workload_sampling"]
+
+#: Recognized multi-attribute workload strategies.
+STRATEGIES = ("tuple_dag", "tuple_at_a_time", "all_at_a_time")
 
 
 @dataclass
@@ -275,9 +278,7 @@ def workload_sampling(
             max_draws = 200 * num_samples * max(len(dag), 1)
         _run_all_at_a_time(sampler, dag, num_samples, burn_in, stats, max_draws)
     else:
-        raise ValueError(
-            "strategy must be one of tuple_dag, tuple_at_a_time, all_at_a_time"
-        )
+        raise ValueError(f"strategy must be one of {', '.join(STRATEGIES)}")
     blocks = {}
     for node in dag.nodes:
         if not node.samples:

@@ -19,6 +19,7 @@ from typing import Callable, Hashable, Sequence
 
 from .database import ProbabilisticDatabase
 from .lineage import (
+    FALSE,
     TRUE,
     BlockChoice,
     Event,
@@ -82,14 +83,15 @@ class QueryEngine:
 
     @classmethod
     def from_relation(
-        cls, relation, engine: str | None = None, **derive_kwargs
+        cls, relation, engine: str | None = None, config=None, **derive_kwargs
     ) -> "QueryEngine":
         """Derive ``relation``'s probabilistic database and wrap it.
 
         ``engine`` selects the inference engine used for the derivation
         (the pipeline default — the compiled batch engine — when omitted,
-        ``"naive"`` for the scalar oracle); remaining keyword arguments are
-        forwarded to
+        ``"naive"`` for the scalar oracle); ``config`` may carry a full
+        :class:`~repro.api.config.DeriveConfig`; remaining keyword
+        arguments are forwarded to
         :func:`~repro.core.derive.derive_probabilistic_database`.  The
         derivation diagnostics stay available as ``engine.derive_result``.
         """
@@ -98,7 +100,9 @@ class QueryEngine:
 
         if engine is not None:
             derive_kwargs["engine"] = engine
-        result = derive_probabilistic_database(relation, **derive_kwargs)
+        result = derive_probabilistic_database(
+            relation, config=config, **derive_kwargs
+        )
         out = cls(result.database)
         out.derive_result = result
         return out
@@ -170,8 +174,6 @@ class QueryEngine:
         for r in right:
             key = tuple(r.value(rn) for _, rn in on)
             index.setdefault(key, []).append(r)
-        from .lineage import FALSE
-
         out = []
         for l in left:
             key = tuple(l.value(ln) for ln, _ in on)

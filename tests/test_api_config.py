@@ -1,0 +1,134 @@
+"""Unit tests for the typed pipeline configuration (repro.api.config)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api.config import DeriveConfig, resolve_config
+from repro.cli import build_parser
+from repro.core.engine import DEFAULT_ENGINE
+from repro.core.inference import VoterChoice, VotingScheme
+from repro.core.itemsets import DEFAULT_MAX_ITEMSETS
+
+
+class TestDefaults:
+    def test_defaults_come_from_the_library_constants(self):
+        cfg = DeriveConfig()
+        assert cfg.max_itemsets == DEFAULT_MAX_ITEMSETS
+        assert cfg.engine == DEFAULT_ENGINE
+        assert cfg.v_choice == VoterChoice.BEST.value
+        assert cfg.v_scheme == VotingScheme.AVERAGED.value
+        assert cfg.burn_in == 100
+        assert cfg.seed is None
+
+    def test_frozen(self):
+        cfg = DeriveConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.burn_in = 5
+
+
+class TestValidation:
+    def test_enum_normalization(self):
+        cfg = DeriveConfig(
+            v_choice=VoterChoice.ALL, v_scheme=VotingScheme.WEIGHTED
+        )
+        assert cfg.v_choice == "all"
+        assert cfg.v_scheme == "weighted"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"support_threshold": -0.1},
+            {"support_threshold": 1.5},
+            {"max_itemsets": 0},
+            {"num_samples": 0},
+            {"burn_in": -1},
+            {"strategy": "bogus"},
+            {"engine": "bogus"},
+            {"v_choice": "bogus"},
+            {"v_scheme": "bogus"},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DeriveConfig(**kwargs)
+
+
+class TestRoundTrip:
+    def test_default_round_trip(self):
+        cfg = DeriveConfig()
+        assert DeriveConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_custom_round_trip_through_json(self):
+        cfg = DeriveConfig(
+            support_threshold=0.05,
+            max_itemsets=7,
+            v_choice="all",
+            v_scheme="log_pool",
+            num_samples=123,
+            burn_in=9,
+            strategy="tuple_at_a_time",
+            seed=42,
+            engine="naive",
+        )
+        assert DeriveConfig.from_dict(json.loads(json.dumps(cfg.to_dict()))) == cfg
+
+    def test_partial_dict_fills_defaults(self):
+        cfg = DeriveConfig.from_dict({"burn_in": 17})
+        assert cfg.burn_in == 17
+        assert cfg.num_samples == DeriveConfig().num_samples
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown config keys"):
+            DeriveConfig.from_dict({"burnin": 17})
+
+
+class TestResolveConfig:
+    def test_none_gives_defaults(self):
+        assert resolve_config(None) == DeriveConfig()
+
+    def test_mapping_accepted(self):
+        assert resolve_config({"seed": 3}).seed == 3
+
+    def test_overrides_win_over_config(self):
+        base = DeriveConfig(burn_in=50)
+        assert resolve_config(base, burn_in=7).burn_in == 7
+
+    def test_none_overrides_ignored(self):
+        base = DeriveConfig(burn_in=50)
+        assert resolve_config(base, burn_in=None) is base
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_config(None, bogus=1)
+
+    def test_bad_config_type_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_config(3.14)
+
+
+class TestCliDefaultsMatchConfig:
+    """Regression for the burn-in drift: CLI defaults == config defaults."""
+
+    #: argparse dest -> DeriveConfig field, for every shared knob.
+    SHARED_KNOBS = {
+        "support": "support_threshold",
+        "max_itemsets": "max_itemsets",
+        "voters": "v_choice",
+        "voting": "v_scheme",
+        "samples": "num_samples",
+        "burn_in": "burn_in",
+        "seed": "seed",
+        "engine": "engine",
+    }
+
+    @pytest.mark.parametrize("dest,field", sorted(SHARED_KNOBS.items()))
+    def test_derive_defaults(self, dest, field):
+        args = build_parser().parse_args(["derive", "data.csv"])
+        assert getattr(args, dest) == getattr(DeriveConfig(), field)
+
+    @pytest.mark.parametrize("dest,field", sorted(SHARED_KNOBS.items()))
+    def test_serve_defaults(self, dest, field):
+        args = build_parser().parse_args(["serve"])
+        assert getattr(args, dest) == getattr(DeriveConfig(), field)

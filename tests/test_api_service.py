@@ -1,0 +1,300 @@
+"""Tests for the JSON service layer and HTTP front-end (repro.api.service/http).
+
+The acceptance workflow: config dict -> derive -> JSON query spec ->
+QueryRequest over HTTP -> probabilities bit-identical to the in-process
+lambda-based QueryEngine path.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.http import make_server
+from repro.api.query import Q, SelectionQuery
+from repro.api.service import (
+    DeriveRequest,
+    DeriveResponse,
+    InferenceService,
+    InferRequest,
+    LearnRequest,
+    QueryRequest,
+    QueryResponse,
+    ServiceError,
+)
+from repro.api.session import Session
+from repro.probdb import QueryEngine
+from tests.conftest import FIG1_ROWS
+
+FIG1_SCHEMA = {
+    "age": ["20", "30", "40"],
+    "edu": ["HS", "BS", "MS"],
+    "inc": ["50K", "100K"],
+    "nw": ["100K", "500K"],
+}
+CONFIG = {"support_threshold": 0.1, "num_samples": 200, "burn_in": 20, "seed": 0}
+QUERY_SPEC = SelectionQuery(where=Q.eq("nw", "500K"), project=("age",)).to_dict()
+
+
+@pytest.fixture
+def service():
+    return InferenceService()
+
+
+def _derive_payload(**overrides):
+    payload = {
+        "schema": FIG1_SCHEMA,
+        "rows": FIG1_ROWS,
+        "config": CONFIG,
+        "include_blocks": True,
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestRequestRoundTrips:
+    @pytest.mark.parametrize(
+        "cls,payload",
+        [
+            (LearnRequest, {"schema": FIG1_SCHEMA, "rows": FIG1_ROWS}),
+            (DeriveRequest, {"rows": FIG1_ROWS, "schema": FIG1_SCHEMA}),
+            (InferRequest, {"rows": [["20", "HS", "?", "100K"]]}),
+            (QueryRequest, {"query": QUERY_SPEC, "database": "d1"}),
+        ],
+    )
+    def test_round_trip(self, cls, payload):
+        request = cls.from_dict(payload)
+        again = cls.from_dict(json.loads(json.dumps(request.to_dict())))
+        assert again == request
+
+    def test_missing_required_field(self):
+        with pytest.raises(ServiceError, match="missing required field"):
+            QueryRequest.from_dict({"database": "d1"})
+
+
+class TestJsonWorkflow:
+    def test_derive_then_query_matches_lambda_path(self, service):
+        derive = DeriveResponse.from_dict(
+            service.handle_json("derive", _derive_payload())
+        )
+        assert derive.num_blocks == len(derive.blocks) > 0
+        for block in derive.blocks:
+            assert sum(c["prob"] for c in block["completions"]) == pytest.approx(1.0)
+
+        response = QueryResponse.from_dict(
+            service.handle_json("query", {"query": QUERY_SPEC})
+        )
+
+        # The in-process lambda path over the very same derived database.
+        engine = QueryEngine(service.session.database())
+        expected = engine.selection_query(
+            lambda r: r.value("nw") == "500K", project_to=("age",)
+        )
+        assert list(response.attributes) == ["age"]
+        assert [tuple(r["values"]) for r in response.results] == [
+            t.values for t in expected
+        ]
+        assert [r["probability"] for r in response.results] == [
+            t.probability for t in expected  # bit-identical
+        ]
+
+    def test_learn_then_infer(self, service):
+        learn = service.handle_json(
+            "learn",
+            {"schema": FIG1_SCHEMA, "rows": FIG1_ROWS, "config": CONFIG},
+        )
+        assert learn["meta_rules"] > 0
+        assert learn["attributes"] == list(FIG1_SCHEMA)
+
+        infer = service.handle_json(
+            "infer", {"rows": [["20", "HS", "?", "100K"]]}
+        )
+        (cpd,) = infer["cpds"]
+        assert cpd["attribute"] == "inc"
+        assert cpd["outcomes"] == ["50K", "100K"]
+        assert sum(cpd["probs"]) == pytest.approx(1.0)
+
+    def test_derive_reuses_registered_model(self, service):
+        service.handle_json(
+            "learn", {"schema": FIG1_SCHEMA, "rows": FIG1_ROWS, "config": CONFIG}
+        )
+        model = service.session.model()
+        # No schema in the request: rows are read under the model's schema.
+        response = service.handle_json(
+            "derive",
+            {"rows": FIG1_ROWS, "config": CONFIG, "include_blocks": False},
+        )
+        assert response["num_blocks"] > 0
+        assert response["blocks"] == []
+        assert service.session.model() is model
+
+    def test_health(self, service):
+        health = service.handle_json("health", {})
+        assert health["status"] == "ok"
+        assert health["config"]["burn_in"] == Session().config.burn_in
+
+
+class TestErrors:
+    def test_unknown_endpoint_is_404(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.handle_json("bogus", {})
+        assert err.value.status == 404
+
+    def test_unknown_database_is_404(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.handle_json("query", {"query": QUERY_SPEC, "database": "x"})
+        assert err.value.status == 404
+
+    def test_derive_without_schema_or_model_is_400(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.handle_json("derive", {"rows": FIG1_ROWS})
+        assert err.value.status == 400
+
+    def test_bad_rows_are_400(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.handle_json(
+                "derive", _derive_payload(rows=[["20", "HS", "50K"]])
+            )
+        assert err.value.status == 400
+
+    @pytest.mark.parametrize(
+        "endpoint,payload",
+        [("infer", {"rows": 5}), ("learn", {"schema": 3, "rows": []})],
+    )
+    def test_malformed_request_shapes_are_400(self, service, endpoint, payload):
+        """Request parsing failures surface as ServiceError(400), not as raw
+        TypeError/ValueError (which the HTTP layer would turn into a 500)."""
+        with pytest.raises(ServiceError) as err:
+            service.handle_json(endpoint, payload)
+        assert err.value.status == 400
+
+
+@pytest.fixture
+def http_server():
+    service = InferenceService()
+    service.handle_json("derive", _derive_payload(include_blocks=False))
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield service, server.server_address[1]
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def _post(port, endpoint, payload):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/v1/{endpoint}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestHttp:
+    def test_query_round_trip_bit_identical(self, http_server):
+        service, port = http_server
+        status, body = _post(port, "query", {"query": QUERY_SPEC})
+        assert status == 200
+
+        engine = QueryEngine(service.session.database())
+        expected = engine.selection_query(
+            lambda r: r.value("nw") == "500K", project_to=("age",)
+        )
+        assert [r["probability"] for r in body["results"]] == [
+            t.probability for t in expected
+        ]
+
+    def test_health_endpoint(self, http_server):
+        _, port = http_server
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/v1/health", timeout=30
+        ) as response:
+            body = json.loads(response.read())
+        assert body["status"] == "ok"
+        assert body["databases"] == ["default"]
+
+    def test_http_errors_carry_json_bodies(self, http_server):
+        _, port = http_server
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(port, "bogus", {})
+        assert err.value.code == 404
+        assert "error" in json.loads(err.value.read())
+
+    def test_census_json_only_workflow_bit_identical(self):
+        """The acceptance path: DeriveConfig.from_dict -> Session.derive ->
+        JSON query spec -> QueryRequest over HTTP -> probabilities
+        bit-identical to the in-process lambda-based QueryEngine path."""
+        import numpy as np
+
+        from repro.api.config import DeriveConfig
+        from repro.bench import mask_relation
+        from repro.datasets import load_census
+        from repro.relational import Relation
+
+        config = DeriveConfig.from_dict(
+            {
+                "support_threshold": 0.002,
+                "num_samples": 300,
+                "burn_in": 50,
+                "seed": 1,
+            }
+        )
+        rng = np.random.default_rng(7)
+        data, _ = load_census(3000, rng=rng)
+        train, test = data.split(0.98, rng)
+        test = Relation.from_codes(test.schema, test.codes[:40])
+        masked = mask_relation(test, [1, 2], rng)
+        combined = Relation(train.schema, list(train) + list(masked))
+
+        session = Session(config)
+        session.derive(combined)
+        service = InferenceService(session)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            spec = SelectionQuery(
+                where=Q.and_(Q.eq("income", "high"), Q.ne("education", "HS")),
+                project=("age",),
+            )
+            status, body = _post(
+                server.server_address[1],
+                "query",
+                {"query": json.loads(json.dumps(spec.to_dict()))},
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+        assert status == 200
+        engine = QueryEngine(session.database())
+        expected = engine.selection_query(
+            lambda r: r.value("income") == "high"
+            and r.value("education") != "HS",
+            project_to=("age",),
+        )
+        assert body["results"]  # non-vacuous
+        assert [tuple(r["values"]) for r in body["results"]] == [
+            t.values for t in expected
+        ]
+        assert [r["probability"] for r in body["results"]] == [
+            t.probability for t in expected  # bit-identical through JSON
+        ]
+
+    def test_malformed_json_is_400(self, http_server):
+        _, port = http_server
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/v1/query",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30)
+        assert err.value.code == 400

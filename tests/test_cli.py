@@ -4,7 +4,8 @@ import csv
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.api.config import DeriveConfig
+from repro.cli import build_parser, config_from_args, main
 from repro.relational import write_csv
 
 
@@ -24,6 +25,29 @@ class TestParser:
         args = build_parser().parse_args(["derive", str(csv_path)])
         assert args.support == 0.01
         assert args.voters == "best"
+
+    def test_derive_defaults_build_the_default_config(self, csv_path):
+        """The burn-in drift regression: CLI args == DeriveConfig defaults."""
+        args = build_parser().parse_args(["derive", str(csv_path)])
+        assert config_from_args(args) == DeriveConfig()
+
+    def test_serve_parses_without_input(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.input is None
+        assert args.host == "127.0.0.1"
+        assert args.port == 8642
+        assert config_from_args(args) == DeriveConfig()
+
+    def test_serve_accepts_pipeline_knobs(self):
+        args = build_parser().parse_args(
+            ["serve", "data.csv", "--support", "0.1", "--burn-in", "7",
+             "--seed", "3", "--port", "9000"]
+        )
+        cfg = config_from_args(args)
+        assert cfg.support_threshold == 0.1
+        assert cfg.burn_in == 7
+        assert cfg.seed == 3
+        assert args.port == 9000
 
 
 class TestDerive:
