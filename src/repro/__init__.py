@@ -58,6 +58,14 @@ from .api import (
     SelfJoinQuery,
     Session,
 )
+from .exec import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    execute_derivation,
+    plan_shards,
+    stream_derivation,
+)
 from .probdb import (
     Distribution,
     PossibleWorld,
@@ -128,4 +136,11 @@ __all__ = [
     "SelectionQuery",
     "SelfJoinQuery",
     "InferenceService",
+    # exec
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "plan_shards",
+    "stream_derivation",
+    "execute_derivation",
 ]

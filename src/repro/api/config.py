@@ -23,6 +23,12 @@ from ..core.engine import DEFAULT_ENGINE, validate_engine
 from ..core.inference import VoterChoice, VotingScheme
 from ..core.itemsets import DEFAULT_MAX_ITEMSETS
 from ..core.tuple_dag import STRATEGIES
+from ..exec.base import (
+    DEFAULT_EXECUTOR,
+    DEFAULT_WORKERS,
+    validate_executor,
+    validate_workers,
+)
 
 __all__ = ["DeriveConfig", "resolve_config"]
 
@@ -35,7 +41,10 @@ class DeriveConfig:
     and ``max_itemsets`` drive Algorithm 1 mining, ``v_choice``/``v_scheme``
     configure Algorithm 2 voting, ``num_samples``/``burn_in``/``strategy``
     set the Algorithm 3 Gibbs workload, ``seed`` fixes the samplers, and
-    ``engine`` picks the compiled or naive inference path.
+    ``engine`` picks the compiled or naive inference path.  ``executor``
+    and ``workers`` select the derivation runtime (:mod:`repro.exec`):
+    serial, thread-pool, or process-pool shard execution — results are
+    bit-identical across all of them for any worker count.
     """
 
     support_threshold: float = 0.01
@@ -47,6 +56,8 @@ class DeriveConfig:
     strategy: str = "tuple_dag"
     seed: int | None = None
     engine: str = DEFAULT_ENGINE
+    executor: str = DEFAULT_EXECUTOR
+    workers: int = DEFAULT_WORKERS
 
     def __post_init__(self) -> None:
         set_ = object.__setattr__  # frozen dataclass: normalize in place
@@ -57,6 +68,8 @@ class DeriveConfig:
         set_(self, "num_samples", int(self.num_samples))
         set_(self, "burn_in", int(self.burn_in))
         set_(self, "engine", validate_engine(self.engine))
+        set_(self, "executor", validate_executor(self.executor))
+        set_(self, "workers", validate_workers(self.workers))
         if self.seed is not None:
             set_(self, "seed", int(self.seed))
         if not 0.0 <= self.support_threshold <= 1.0:

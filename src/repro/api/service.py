@@ -132,7 +132,10 @@ class DeriveRequest:
     ``schema`` may be omitted when ``model`` names an already-registered
     model (the rows are then read under the model's schema).
     ``include_blocks`` controls whether the response carries the full
-    per-block completion lists or only the counts.
+    per-block completion lists or only the counts.  ``executor`` and
+    ``workers`` select the shard runtime for this request (shorthand for
+    the same keys inside ``config``; the explicit fields win) — results
+    are bit-identical whichever runtime serves them.
     """
 
     rows: tuple[tuple[Any, ...], ...]
@@ -141,6 +144,8 @@ class DeriveRequest:
     name: str = DEFAULT_NAME
     config: Mapping[str, Any] | None = None
     include_blocks: bool = True
+    executor: str | None = None
+    workers: int | None = None
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "DeriveRequest":
@@ -152,6 +157,11 @@ class DeriveRequest:
             name=payload.get("name", DEFAULT_NAME),
             config=payload.get("config"),
             include_blocks=bool(payload.get("include_blocks", True)),
+            executor=payload.get("executor"),
+            workers=(
+                None if payload.get("workers") is None
+                else int(payload["workers"])
+            ),
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -166,6 +176,8 @@ class DeriveRequest:
             "name": self.name,
             "config": None if self.config is None else dict(self.config),
             "include_blocks": self.include_blocks,
+            "executor": self.executor,
+            "workers": self.workers,
         }
 
 
@@ -316,6 +328,8 @@ class InferenceService:
             name=request.name,
             model=model_name,
             config=request.config,
+            executor=request.executor,
+            workers=request.workers,
         )
         db = result.database
         blocks: tuple[dict[str, Any], ...] = ()

@@ -148,6 +148,8 @@ class Session:
         model: str | None = None,
         config: DeriveConfig | Mapping[str, Any] | None = None,
         rng: np.random.Generator | int | None = None,
+        executor: str | None = None,
+        workers: int | None = None,
     ) -> DeriveResult:
         """Derive ``relation``'s probabilistic database and register it.
 
@@ -155,8 +157,15 @@ class Session:
         learning and registering it from ``relation`` first if absent — so
         the first call learns and every later call only infers.  The result
         is registered as database ``name`` for :meth:`query`.
+
+        ``executor`` / ``workers`` override the config's shard runtime for
+        this call (e.g. ``executor="process", workers=4`` to fan the
+        derivation out across worker processes); results are bit-identical
+        whichever runtime serves them.
         """
         cfg = self._per_call_config(config)
+        if executor is not None or workers is not None:
+            cfg = resolve_config(cfg, executor=executor, workers=workers)
         model_name = name if model is None else model
         if model_name not in self._models:
             self.learn(relation, model=model_name, config=cfg)

@@ -31,6 +31,7 @@ from .api.config import DeriveConfig
 from .bench.reporting import format_table
 from .core.derive import derive_probabilistic_database
 from .core.engine import ENGINES
+from .exec.base import EXECUTORS
 from .core.inference import VoterChoice, VotingScheme
 from .core.learning import learn_mrsl
 from .core.persistence import load_model, save_model
@@ -81,6 +82,18 @@ def build_parser() -> argparse.ArgumentParser:
             help="inference engine: 'compiled' batches voting by evidence "
             "signature; 'naive' is the scalar reference path (default: "
             f"{DEFAULTS.engine})",
+        )
+        p.add_argument(
+            "--executor", choices=list(EXECUTORS), default=DEFAULTS.executor,
+            help="derivation runtime: run shards in-process ('serial'), on "
+            "a thread pool, or on worker processes rebuilt from the model "
+            "JSON; results are bit-identical for every choice (default: "
+            f"{DEFAULTS.executor})",
+        )
+        p.add_argument(
+            "--workers", type=int, default=DEFAULTS.workers,
+            help="worker threads/processes for the shard executor "
+            f"(default {DEFAULTS.workers})",
         )
         p.add_argument(
             "--samples", type=int, default=DEFAULTS.num_samples,
@@ -148,6 +161,8 @@ def config_from_args(args: argparse.Namespace) -> DeriveConfig:
         burn_in=getattr(args, "burn_in", DEFAULTS.burn_in),
         seed=getattr(args, "seed", DEFAULTS.seed),
         engine=getattr(args, "engine", DEFAULTS.engine),
+        executor=getattr(args, "executor", DEFAULTS.executor),
+        workers=getattr(args, "workers", DEFAULTS.workers),
     )
 
 
@@ -173,6 +188,8 @@ def _cmd_derive(args: argparse.Namespace) -> int:
         f"engine: {args.engine})",
         file=sys.stderr,
     )
+    if result.exec_report is not None:
+        print(result.exec_report.summary(), file=sys.stderr)
     return 0
 
 

@@ -5,6 +5,14 @@ learn the MRSL ensemble from the complete part of the data, estimate ``Δt``
 for every incomplete tuple — Algorithm 2 when a single attribute is missing,
 workload-driven Gibbs sampling (Algorithm 3) when several are — and assemble
 the result into a disjoint-independent probabilistic database.
+
+Since the sharded runtime landed, every derivation path here runs through
+:mod:`repro.exec`: the planner partitions incomplete tuples into shards
+(evidence-signature groups for Algorithm 2, subsumption components for
+Algorithm 3), the configured executor runs them — serially by default, on
+threads or worker processes when ``config.executor``/``config.workers`` say
+so — and the collector reassembles blocks in relation order.  Results are
+bit-identical for every executor and worker count.
 """
 
 from __future__ import annotations
@@ -13,18 +21,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..exec.base import ExecReport
+from ..exec.executors import Executor
+from ..exec.runtime import execute_derivation
 from ..probdb.blocks import TupleBlock
 from ..probdb.database import ProbabilisticDatabase
-from ..probdb.distribution import Distribution
 from ..relational.relation import Relation
 from .engine import BatchInferenceEngine
-from .inference import VoterChoice, VotingScheme, infer_single
+from .inference import VoterChoice, VotingScheme
 from .learning import LearnResult, learn_mrsl
 from .mrsl import MRSLModel
-from .tuple_dag import SamplingStats, workload_sampling
+from .tuple_dag import SamplingStats
 
 # Imported last: repro.api.config reads its defaults from core leaf modules
-# (engine, itemsets, inference, tuple_dag), all fully initialized by now.
+# (engine, itemsets, inference, tuple_dag) and repro.exec.base, all fully
+# initialized by now.
 from ..api.config import DeriveConfig, resolve_config
 
 __all__ = [
@@ -40,23 +51,27 @@ class DeriveResult:
 
     ``learn_result`` is ``None`` when derivation reused a pre-learned model
     (the session / learn-once path) instead of running Algorithm 1.
+    ``exec_report`` carries the shard runtime's per-shard timing and
+    placement diagnostics.
     """
 
     database: ProbabilisticDatabase
     model: MRSLModel
     learn_result: LearnResult | None
     sampling_stats: SamplingStats
+    exec_report: ExecReport | None = None
 
 
-def _single_missing_block(
-    t, model: MRSLModel, v_choice: VoterChoice, v_scheme: VotingScheme
-) -> TupleBlock:
-    """Wrap an Algorithm 2 CPD as a one-attribute block (naive path)."""
-    attr = t.missing_positions[0]
-    cpd = infer_single(t, model[attr], v_choice, v_scheme)
-    # Block outcomes are 1-tuples of values, per TupleBlock's convention.
-    outcomes = [(value,) for value in cpd.outcomes]
-    return TupleBlock(t, Distribution(outcomes, cpd.probs))
+def _check_executor_conflict(
+    executor: Executor | str | None, workers: int | None
+) -> None:
+    """A pre-built executor instance carries its own worker count."""
+    if isinstance(executor, Executor) and workers is not None:
+        raise ValueError(
+            "workers cannot be combined with a pre-built Executor instance "
+            f"(it already runs {executor.workers} workers); pass the "
+            "executor by name instead"
+        )
 
 
 def single_missing_blocks(
@@ -67,43 +82,44 @@ def single_missing_blocks(
     engine: str | None = None,
     batch_engine: BatchInferenceEngine | None = None,
     config: DeriveConfig | None = None,
+    executor: Executor | str | None = None,
+    workers: int | None = None,
 ) -> list[TupleBlock]:
     """Blocks for a batch of single-missing tuples under the chosen engine.
 
-    The compiled path groups the whole batch by evidence signature and
-    serves each group with one matrix combine; the naive path loops
-    tuple-at-a-time and is kept as the correctness oracle.  Voting and
-    engine knobs default to ``config`` (itself defaulting to
-    :class:`~repro.api.config.DeriveConfig`); explicit arguments win.
+    The batch is planned into evidence-signature shards and run by the
+    configured executor (serial in-process by default; ``executor`` /
+    ``workers`` route it to a thread or process pool).  Within each shard
+    the compiled path serves each signature group with one matrix combine;
+    the naive path loops tuple-at-a-time and is kept as the correctness
+    oracle.  Voting and engine knobs default to ``config`` (itself
+    defaulting to :class:`~repro.api.config.DeriveConfig`); explicit
+    arguments win.
     """
+    _check_executor_conflict(executor, workers)
     cfg = resolve_config(
-        config, v_choice=v_choice, v_scheme=v_scheme, engine=engine
+        config,
+        v_choice=v_choice,
+        v_scheme=v_scheme,
+        engine=engine,
+        workers=workers,
+        executor=None if isinstance(executor, Executor) else executor,
     )
     tuples = list(tuples)
-    v_choice = VoterChoice(cfg.v_choice)
-    v_scheme = VotingScheme(cfg.v_scheme)
-    if cfg.engine == "naive":
-        return [
-            _single_missing_block(t, model, v_choice, v_scheme) for t in tuples
-        ]
-    if batch_engine is None:
-        batch_engine = BatchInferenceEngine(model, v_choice, v_scheme)
-    cpds = batch_engine.infer_batch(tuples, v_choice, v_scheme)
-    # Tuples sharing a CPD (same evidence signature) share one immutable
-    # block distribution; only the per-tuple base differs.  Wrapping the
-    # value-level Distribution (rather than the raw CPD vector) matters for
-    # the oracle guarantee: the naive path normalizes twice — once inside
-    # infer_single, once here — and bit-for-bit parity requires the same.
-    shared: dict[int, Distribution] = {}
-    blocks = []
-    for t, cpd in zip(tuples, cpds):
-        dist = shared.get(id(cpd))
-        if dist is None:
-            outcomes = [(value,) for value in cpd.outcomes]
-            dist = Distribution(outcomes, cpd.probs)
-            shared[id(cpd)] = dist
-        blocks.append(TupleBlock(t, dist))
-    return blocks
+    for t in tuples:
+        if t.num_missing != 1:
+            raise ValueError(
+                f"expected exactly one missing attribute, tuple has "
+                f"{t.num_missing}"
+            )
+    outcome = execute_derivation(
+        tuples,
+        model,
+        cfg,
+        batch_engine=batch_engine,
+        executor=executor if isinstance(executor, Executor) else None,
+    )
+    return outcome.blocks
 
 
 def derive_probabilistic_database(
@@ -120,6 +136,8 @@ def derive_probabilistic_database(
     config: DeriveConfig | None = None,
     model: MRSLModel | None = None,
     batch_engine: BatchInferenceEngine | None = None,
+    executor: Executor | str | None = None,
+    workers: int | None = None,
 ) -> DeriveResult:
     """Derive the disjoint-independent probabilistic model for ``relation``.
 
@@ -139,7 +157,8 @@ def derive_probabilistic_database(
         Multi-attribute workload strategy; see
         :func:`~repro.core.tuple_dag.workload_sampling`.
     rng:
-        Seed or generator for the samplers; defaults to ``config.seed``.
+        Seed or generator the per-shard Gibbs seeds derive from; defaults to
+        ``config.seed``.
     engine:
         ``"compiled"`` (default) batches single-missing inference by
         evidence signature and serves Gibbs CPDs from the compiled rule
@@ -153,11 +172,18 @@ def derive_probabilistic_database(
         serve-many path used by :class:`~repro.api.session.Session`.
     batch_engine:
         A warm :class:`BatchInferenceEngine` over ``model`` to reuse across
-        derivations (its CPD cache carries over).
+        derivations (its CPD cache carries over on the serial path).
+    executor, workers:
+        Shard runtime selection (override ``config.executor`` /
+        ``config.workers``): ``"serial"``, ``"thread"``, or ``"process"``,
+        and the pool size.  ``executor`` also accepts a pre-built
+        :class:`~repro.exec.executors.Executor` instance.  Results are
+        bit-identical whichever runtime executes the shards.
 
     Returns a :class:`DeriveResult`; its ``database`` holds the complete
     tuples as certain rows and one block per incomplete tuple.
     """
+    _check_executor_conflict(executor, workers)
     cfg = resolve_config(
         config,
         support_threshold=support_threshold,
@@ -168,6 +194,8 @@ def derive_probabilistic_database(
         burn_in=burn_in,
         strategy=strategy,
         engine=engine,
+        workers=workers,
+        executor=None if isinstance(executor, Executor) else executor,
     )
     if rng is None:
         rng = cfg.seed
@@ -179,9 +207,9 @@ def derive_probabilistic_database(
             max_itemsets=cfg.max_itemsets,
         )
         model = learn_result.model
-    v_choice = VoterChoice(cfg.v_choice)
-    v_scheme = VotingScheme(cfg.v_scheme)
 
+    # Workload order: single-missing tuples first, then multi-missing, each
+    # in relation order — the block order this function has always produced.
     single = []
     multi = []
     for t in relation.incomplete_part():
@@ -190,38 +218,24 @@ def derive_probabilistic_database(
         else:
             multi.append(t)
 
-    blocks: list[TupleBlock] = single_missing_blocks(
-        single,
+    outcome = execute_derivation(
+        single + multi,
         model,
-        v_choice,
-        v_scheme,
-        engine=cfg.engine,
+        cfg,
+        rng=rng,
         batch_engine=batch_engine,
+        executor=executor if isinstance(executor, Executor) else None,
     )
-
-    stats = SamplingStats()
-    if multi:
-        multi_blocks, stats = workload_sampling(
-            model,
-            multi,
-            num_samples=cfg.num_samples,
-            burn_in=cfg.burn_in,
-            strategy=cfg.strategy,
-            v_choice=v_choice,
-            v_scheme=v_scheme,
-            rng=rng,
-            engine=cfg.engine,
-        )
-        blocks.extend(multi_blocks)
 
     database = ProbabilisticDatabase(
         relation.schema,
         certain=list(relation.complete_part()),
-        blocks=blocks,
+        blocks=outcome.blocks,
     )
     return DeriveResult(
         database=database,
         model=model,
         learn_result=learn_result,
-        sampling_stats=stats,
+        sampling_stats=outcome.stats,
+        exec_report=outcome.report,
     )

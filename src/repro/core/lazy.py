@@ -9,25 +9,31 @@ only when a query actually touches a tuple, memoizing each derived block.
 Queries whose predicate is decided by a tuple's *known* attributes never pay
 for inference at all: if every completion of the tuple agrees on the
 predicate, the block is not materialized.
+
+Materialization runs through the shard runtime (:mod:`repro.exec`):
+:meth:`LazyDeriver.prefetch` drops already-cached tuples, plans the rest
+into signature / subsumption-component shards, and caches blocks as each
+shard's result streams back — so a prefetch can use thread or process
+workers (``config.executor`` / ``config.workers``) exactly like the eager
+pipeline, and partial results land in the cache even mid-run.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import Callable
 
 import numpy as np
 
 from ..api.config import DeriveConfig, resolve_config
+from ..exec.plan import resolve_base_seed
+from ..exec.runtime import stream_derivation
 from ..probdb.blocks import TupleBlock
 from ..probdb.database import ProbabilisticDatabase
-from ..probdb.distribution import Distribution
 from ..relational.relation import Relation
 from ..relational.tuples import RelTuple
-from .derive import single_missing_blocks
 from .engine import BatchInferenceEngine
 from .inference import VoterChoice, VotingScheme
 from .learning import learn_mrsl
-from .tuple_dag import workload_sampling
 
 __all__ = ["LazyDeriver"]
 
@@ -52,6 +58,8 @@ class LazyDeriver:
         max_itemsets: int | None = None,
         strategy: str | None = None,
         config: DeriveConfig | None = None,
+        executor: str | None = None,
+        workers: int | None = None,
     ):
         cfg = resolve_config(
             config,
@@ -63,6 +71,8 @@ class LazyDeriver:
             burn_in=burn_in,
             strategy=strategy,
             engine=engine,
+            executor=executor,
+            workers=workers,
         )
         self.config = cfg
         self.relation = relation
@@ -76,11 +86,11 @@ class LazyDeriver:
         self.num_samples = cfg.num_samples
         self.burn_in = cfg.burn_in
         self.strategy = cfg.strategy
-        if rng is None:
-            rng = cfg.seed
-        if not isinstance(rng, np.random.Generator):
-            rng = np.random.default_rng(rng)
-        self._rng = rng
+        # One base seed for the deriver's lifetime: per-shard Gibbs seeds
+        # derive from it plus each shard's content key, so a tuple's block
+        # does not depend on *when* (or with how many workers) it was
+        # materialized — only on which tuples shared its prefetch.
+        self._base_seed = resolve_base_seed(rng, cfg.seed)
         self.engine = cfg.engine
         self._batch_engine = (
             BatchInferenceEngine(self.model, self.v_choice, self.v_scheme)
@@ -98,74 +108,42 @@ class LazyDeriver:
         cached = self._cache.get(t)
         if cached is not None:
             return cached
-        if t.num_missing == 1:
-            block = single_missing_blocks(
-                [t],
-                self.model,
-                self.v_choice,
-                self.v_scheme,
-                engine=self.engine,
-                batch_engine=self._batch_engine,
-            )[0]
-        else:
-            blocks, _ = workload_sampling(
-                self.model,
-                [t],
-                num_samples=self.num_samples,
-                burn_in=self.burn_in,
-                strategy=self.strategy,
-                v_choice=self.v_choice,
-                v_scheme=self.v_scheme,
-                rng=self._rng,
-                engine=self.engine,
-            )
-            block = blocks[0]
-        self._cache[t] = block
-        self.materialized += 1
-        return block
+        self.prefetch([t])
+        return self._cache[t]
 
     def prefetch(self, tuples: list[RelTuple]) -> None:
         """Materialize many blocks at once.
 
-        Multi-missing tuples share Gibbs work through the tuple-DAG
-        optimization; single-missing tuples are served as one signature-
-        grouped batch by the compiled engine — neither win is available to a
-        tuple-at-a-time loop over :meth:`block`.
+        Tuples already cached (and duplicates within the batch) are dropped
+        *before* planning, so a warm prefetch costs nothing.  The rest are
+        planned into shards — multi-missing tuples share Gibbs work through
+        the tuple-DAG optimization within their subsumption component,
+        single-missing tuples are served as signature-grouped batches by
+        the compiled engine — and executed by the configured runtime,
+        caching each shard's blocks as it completes.
         """
-        multi = [
-            t for t in tuples
-            if t.num_missing > 1 and t not in self._cache
-        ]
-        if multi:
-            blocks, _ = workload_sampling(
-                self.model,
-                multi,
-                num_samples=self.num_samples,
-                burn_in=self.burn_in,
-                strategy=self.strategy,
-                v_choice=self.v_choice,
-                v_scheme=self.v_scheme,
-                rng=self._rng,
-                engine=self.engine,
-            )
-            for t, block in zip(multi, blocks):
-                if t not in self._cache:
-                    self._cache[t] = block
-                    self.materialized += 1
-        single = [
-            t for t in tuples
-            if t.num_missing == 1 and t not in self._cache
-        ]
-        if single:
-            blocks = single_missing_blocks(
-                single,
-                self.model,
-                self.v_choice,
-                self.v_scheme,
-                engine=self.engine,
-                batch_engine=self._batch_engine,
-            )
-            for t, block in zip(single, blocks):
+        pending: list[RelTuple] = []
+        seen: set[RelTuple] = set()
+        for t in tuples:
+            if t not in self._cache and t not in seen:
+                seen.add(t)
+                pending.append(t)
+        if not pending:
+            return
+        # Tiny batches (the tuple-at-a-time block() path) are not worth a
+        # pool: run them serially in-process.  Results are bit-identical
+        # either way, so this is purely a cost decision.
+        executor = "serial" if len(pending) == 1 else None
+        for result in stream_derivation(
+            pending,
+            self.model,
+            self.config,
+            rng=self._base_seed,
+            batch_engine=self._batch_engine,
+            executor=executor,
+        ):
+            for idx, block in zip(result.indices, result.blocks):
+                t = pending[idx]
                 if t not in self._cache:
                     self._cache[t] = block
                     self.materialized += 1

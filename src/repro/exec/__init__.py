@@ -1,0 +1,74 @@
+"""Sharded parallel derivation: planner, pluggable executors, collector.
+
+The derivation step (Algorithm 2 over single-missing blocks, Algorithm 3
+over multi-missing components) is embarrassingly parallel given the learned
+MRSL.  This package turns it into a plan/execute/collect pipeline:
+
+* :mod:`.plan`      — partition a workload into shards keyed by evidence
+  signature (single-missing) and subsumption component (multi-missing);
+* :mod:`.executors` — run shards serially, on threads, or on worker
+  processes rebuilt from the persisted model JSON;
+* :mod:`.runtime`   — stream completed blocks back as shards finish, with
+  per-shard timing diagnostics.
+
+Determinism guarantee: single shards are RNG-free and multi shards carry
+seeds derived from the config seed plus a stable shard key, so every
+executor produces bit-identical results for any worker count.
+
+Only :mod:`.base` is imported by :mod:`repro.api.config` (for the
+``executor``/``workers`` knobs); everything here is safe to import without
+touching the api layer.
+"""
+
+from .base import (
+    DEFAULT_EXECUTOR,
+    DEFAULT_WORKERS,
+    EXECUTORS,
+    ExecReport,
+    Shard,
+    ShardPlan,
+    ShardResult,
+    ShardTiming,
+    validate_executor,
+    validate_workers,
+)
+from .executors import (
+    ExecContext,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+)
+from .plan import plan_shards, resolve_base_seed, shard_seed
+from .runtime import ExecOutcome, execute_derivation, stream_derivation
+from .work import ShardKnobs, multi_shard_blocks, run_shard, single_shard_blocks
+
+__all__ = [
+    "EXECUTORS",
+    "DEFAULT_EXECUTOR",
+    "DEFAULT_WORKERS",
+    "validate_executor",
+    "validate_workers",
+    "Shard",
+    "ShardPlan",
+    "ShardResult",
+    "ShardTiming",
+    "ExecReport",
+    "ExecContext",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "plan_shards",
+    "resolve_base_seed",
+    "shard_seed",
+    "ShardKnobs",
+    "single_shard_blocks",
+    "multi_shard_blocks",
+    "run_shard",
+    "ExecOutcome",
+    "stream_derivation",
+    "execute_derivation",
+]

@@ -1,0 +1,188 @@
+"""Shared vocabulary of the execution subsystem: shards, plans, results.
+
+The derivation step is embarrassingly parallel — each incomplete tuple's
+block depends only on the learned model and the tuple itself (plus, for
+multi-missing tuples, the other tuples in its subsumption component, which
+share Gibbs samples).  The planner (:mod:`repro.exec.plan`) partitions a
+workload into :class:`Shard` units along exactly those dependency lines;
+executors (:mod:`repro.exec.executors`) run shards serially, on threads, or
+on worker processes; the collector (:mod:`repro.exec.runtime`) streams
+:class:`ShardResult` objects back as shards finish.
+
+This module holds only the data types and name validation so that
+:mod:`repro.api.config` can import it without pulling in the derive
+pipeline (which itself imports the config module).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..core.tuple_dag import SamplingStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..probdb.blocks import TupleBlock
+    from ..relational.tuples import RelTuple
+
+__all__ = [
+    "EXECUTORS",
+    "DEFAULT_EXECUTOR",
+    "DEFAULT_WORKERS",
+    "validate_executor",
+    "validate_workers",
+    "Shard",
+    "ShardPlan",
+    "ShardResult",
+    "ShardTiming",
+    "ExecReport",
+]
+
+#: Recognized executor names.
+EXECUTORS = ("serial", "thread", "process")
+
+#: The executor used when callers do not choose one.
+DEFAULT_EXECUTOR = "serial"
+
+#: The worker count used when callers do not choose one.
+DEFAULT_WORKERS = 1
+
+
+def validate_executor(executor: str) -> str:
+    """Normalize and validate an executor name."""
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"executor must be one of {EXECUTORS}, got {executor!r}"
+        )
+    return executor
+
+
+def validate_workers(workers: int) -> int:
+    """Validate a worker count."""
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be positive, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independent unit of derivation work.
+
+    ``indices`` are positions in the planned workload (the tuple list handed
+    to the planner); ``tuples[i]`` is the tuple at workload position
+    ``indices[i]``, so results can be re-assembled in input order no matter
+    when shards finish.  ``kind`` is ``"single"`` (Algorithm 2, RNG-free,
+    grouped by evidence signature) or ``"multi"`` (Algorithm 3 Gibbs over one
+    subsumption component, seeded by ``seed``).
+    """
+
+    key: str
+    kind: str  # "single" | "multi"
+    indices: tuple[int, ...]
+    tuples: "tuple[RelTuple, ...]"
+    #: deterministic per-shard RNG seed (multi shards only)
+    seed: int | None = None
+    #: distinct evidence-signature groups (single) / distinct tuples (multi)
+    groups: int = 1
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The planner's output: a deterministic partition of a workload.
+
+    Multi shards (one per subsumption component, with a seed derived from
+    the base seed and the component's content key) never depend on the
+    worker count, which is what makes derivation results identical for any
+    executor and any number of workers.  Single shards are RNG-free, so
+    their packing *may* track the worker count without affecting results.
+    """
+
+    shards: tuple[Shard, ...]
+    num_tuples: int
+    #: the resolved seed multi-shard seeds derive from (None if no multis)
+    base_seed: int | None = None
+
+    @property
+    def single_shards(self) -> tuple[Shard, ...]:
+        return tuple(s for s in self.shards if s.kind == "single")
+
+    @property
+    def multi_shards(self) -> tuple[Shard, ...]:
+        return tuple(s for s in self.shards if s.kind == "multi")
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One completed shard: blocks aligned with the shard's indices."""
+
+    key: str
+    kind: str
+    indices: tuple[int, ...]
+    blocks: "tuple[TupleBlock, ...]"
+    #: Gibbs cost counters (multi shards; None for single shards)
+    stats: SamplingStats | None = None
+    #: wall-clock seconds spent computing this shard
+    elapsed: float = 0.0
+    #: label of the worker that ran the shard (thread name / process pid)
+    worker: str = "main"
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+@dataclass(frozen=True)
+class ShardTiming:
+    """Per-shard diagnostics row kept by the collector."""
+
+    key: str
+    kind: str
+    tuples: int
+    groups: int
+    elapsed: float
+    worker: str
+
+
+@dataclass
+class ExecReport:
+    """Collector diagnostics for one derivation run."""
+
+    executor: str
+    workers: int
+    num_shards: int = 0
+    num_tuples: int = 0
+    elapsed: float = 0.0
+    timings: list[ShardTiming] = field(default_factory=list)
+
+    def add(self, result: ShardResult, groups: int) -> None:
+        self.timings.append(
+            ShardTiming(
+                key=result.key,
+                kind=result.kind,
+                tuples=len(result),
+                groups=groups,
+                elapsed=result.elapsed,
+                worker=result.worker,
+            )
+        )
+
+    def slowest(self, k: int = 5) -> list[ShardTiming]:
+        """The ``k`` slowest shards, slowest first (for progress reporting)."""
+        return sorted(self.timings, key=lambda t: -t.elapsed)[:k]
+
+    def summary(self) -> str:
+        busy = sum(t.elapsed for t in self.timings)
+        return (
+            f"{self.num_shards} shards over {self.num_tuples} tuples via "
+            f"{self.executor}(workers={self.workers}): "
+            f"{self.elapsed:.3f}s wall, {busy:.3f}s shard time"
+        )
+
+    def __repr__(self) -> str:
+        return f"ExecReport({self.summary()})"

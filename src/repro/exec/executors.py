@@ -1,0 +1,248 @@
+"""Pluggable shard executors: serial, thread pool, process pool.
+
+All three run the same shard kernels (:mod:`repro.exec.work`) over the same
+plan (:mod:`repro.exec.plan`) and stream :class:`~repro.exec.base.ShardResult`
+objects as shards finish, so they are interchangeable:
+
+* :class:`SerialExecutor` — in-process, in plan order; the default.  With a
+  warm engine passed in (the session path) it is bit-identical to the
+  pre-executor code.
+* :class:`ThreadExecutor` — a thread pool sharing the in-process model, one
+  warm engine per worker thread (the engine's LRU is not thread-safe, and
+  per-thread engines also avoid lock contention on the hot path).
+* :class:`ProcessExecutor` — a process pool whose initializer receives the
+  persisted model JSON and the parent's compiled-engine metadata, rebuilds
+  one warm engine per worker, and validates the rebuild.  Live engines are
+  never pickled.
+
+Because multi-missing shards carry deterministic per-shard seeds and
+single-missing shards are RNG-free, all executors produce bit-identical
+results for any worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, TYPE_CHECKING
+
+from ..core.engine import BatchInferenceEngine
+from .base import (
+    DEFAULT_WORKERS,
+    ShardPlan,
+    ShardResult,
+    validate_workers,
+)
+from .work import (
+    ShardKnobs,
+    _process_run_shard,
+    _process_worker_init,
+    run_shard,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.mrsl import MRSLModel
+
+__all__ = [
+    "ExecContext",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+]
+
+
+@dataclass
+class ExecContext:
+    """Everything an executor needs beyond the plan itself.
+
+    ``batch_engine`` is the caller's warm engine (the session path); serial
+    execution reuses it so its CPD cache keeps carrying over.  ``model_doc``
+    and ``compiled_metadata`` are built lazily by :class:`ProcessExecutor`
+    unless the caller supplies them.
+    """
+
+    model: "MRSLModel"
+    knobs: ShardKnobs
+    batch_engine: BatchInferenceEngine | None = None
+    model_doc: Mapping[str, Any] | None = None
+    compiled_metadata: Mapping[str, Any] | None = None
+
+    def warm_engine(self) -> BatchInferenceEngine | None:
+        """The in-process engine for serial execution (built on first use)."""
+        if self.batch_engine is None and self.knobs.engine == "compiled":
+            self.batch_engine = BatchInferenceEngine(
+                self.model, self.knobs.v_choice, self.knobs.v_scheme
+            )
+        return self.batch_engine
+
+
+class Executor:
+    """Common interface: stream shard results for a plan."""
+
+    name = "abstract"
+
+    def __init__(self, workers: int = DEFAULT_WORKERS):
+        self.workers = validate_workers(workers)
+
+    def run(
+        self, plan: ShardPlan, context: ExecContext
+    ) -> Iterator[ShardResult]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(Executor):
+    """Run shards one after another in the calling process (the default)."""
+
+    name = "serial"
+
+    def run(
+        self, plan: ShardPlan, context: ExecContext
+    ) -> Iterator[ShardResult]:
+        engine = context.warm_engine()
+        for shard in plan.shards:
+            yield run_shard(
+                shard, context.model, context.knobs, batch_engine=engine
+            )
+
+
+class ThreadExecutor(Executor):
+    """Run shards on a thread pool sharing the in-process model.
+
+    Useful when the per-shard work releases the GIL (NumPy combines) or the
+    caller wants streaming overlap without process startup cost.  Each
+    worker thread keeps its own warm engine: the LRU cache is not
+    thread-safe, and sharing one would serialize the hot path anyway.
+    """
+
+    name = "thread"
+
+    def run(
+        self, plan: ShardPlan, context: ExecContext
+    ) -> Iterator[ShardResult]:
+        if not plan.shards:
+            return
+        local = threading.local()
+        model, knobs = context.model, context.knobs
+
+        def task(shard):
+            engine = getattr(local, "engine", None)
+            if engine is None and knobs.engine == "compiled":
+                engine = BatchInferenceEngine(
+                    model, knobs.v_choice, knobs.v_scheme
+                )
+                local.engine = engine
+            return run_shard(
+                shard,
+                model,
+                knobs,
+                batch_engine=engine,
+                worker=threading.current_thread().name,
+            )
+
+        with ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-exec"
+        ) as pool:
+            yield from _stream(pool.submit(task, s) for s in plan.shards)
+
+
+class ProcessExecutor(Executor):
+    """Run shards on a process pool rebuilt from the persisted model JSON.
+
+    The pool initializer ships :func:`~repro.core.persistence.model_to_dict`
+    output (plus the parent's compiled-engine metadata for validation) to
+    every worker, which rebuilds one warm
+    :class:`~repro.core.engine.BatchInferenceEngine` for its lifetime —
+    live engines and their caches are never pickled.
+    """
+
+    name = "process"
+
+    #: validate workers' rebuilt compiled structures against the parent's
+    verify_rebuild = True
+
+    def run(
+        self, plan: ShardPlan, context: ExecContext
+    ) -> Iterator[ShardResult]:
+        if not plan.shards:
+            return
+        from ..core.persistence import compiled_metadata, model_to_dict
+
+        model_doc = context.model_doc
+        if model_doc is None:
+            model_doc = model_to_dict(context.model)
+        metadata = context.compiled_metadata
+        if metadata is None and self.verify_rebuild:
+            warm = context.batch_engine
+            metadata = compiled_metadata(
+                context.model, None if warm is None else warm.compiled
+            )
+        # Fork keeps worker startup cheap on POSIX, but forking a
+        # multithreaded parent (e.g. a derive request inside the threaded
+        # HTTP server) can inherit locks held by threads that do not exist
+        # in the child; prefer forkserver/spawn there.  The initializer
+        # rebuilds from JSON either way, so behavior is identical.
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods and threading.active_count() == 1:
+            method = "fork"
+        elif "forkserver" in methods:
+            method = "forkserver"
+        else:
+            method = "spawn"
+        mp_context = multiprocessing.get_context(method)
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=mp_context,
+            initializer=_process_worker_init,
+            initargs=(model_doc, context.knobs, metadata),
+        ) as pool:
+            yield from _stream(
+                pool.submit(_process_run_shard, s) for s in plan.shards
+            )
+
+
+def _stream(futures) -> Iterator[ShardResult]:
+    """Yield results as they complete; cancel the rest on first failure."""
+    pending = set(futures)
+    try:
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield future.result()
+    finally:
+        for future in pending:
+            future.cancel()
+
+
+#: executor name -> class, the registry behind every ``executor=`` knob.
+EXECUTOR_CLASSES = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+    ProcessExecutor.name: ProcessExecutor,
+}
+
+
+def get_executor(
+    executor: "Executor | str", workers: int = DEFAULT_WORKERS
+) -> Executor:
+    """Resolve an executor instance from a name (or pass one through)."""
+    if isinstance(executor, Executor):
+        return executor
+    cls = EXECUTOR_CLASSES.get(executor)
+    if cls is None:
+        raise ValueError(
+            f"executor must be one of {tuple(EXECUTOR_CLASSES)}, "
+            f"got {executor!r}"
+        )
+    return cls(workers)

@@ -1,0 +1,219 @@
+"""The shard planner: partition a derivation workload into independent units.
+
+Two partitioning rules, one per inference regime:
+
+* **Single-missing tuples** (Algorithm 2) are grouped by ``(head attribute,
+  evidence signature)`` — the same key the compiled engine memoizes CPDs
+  under — so every group in a shard is answered by one matrix combine and
+  the per-worker LRU stays hot.  Groups are packed into a bounded number of
+  shards (greedy largest-first) sized to the worker count; packing cannot
+  affect results because this path is deterministic and RNG-free.
+
+* **Multi-missing tuples** (Algorithm 3) are partitioned into connected
+  components of the subsumption graph.  Components are exactly the units
+  within which the tuple-DAG optimization shares Gibbs samples, so cutting
+  along component boundaries loses no sharing.  Each component becomes one
+  shard with an RNG seed derived from the base seed and a stable content
+  key, which makes results identical for any executor and worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from ..core.compiled import CompiledModel
+from ..relational.tuples import RelTuple, proper_subsumes
+from .base import DEFAULT_WORKERS, Shard, ShardPlan, validate_workers
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.mrsl import MRSLModel
+
+__all__ = ["plan_shards", "resolve_base_seed", "shard_seed"]
+
+#: Target single shards per worker; >1 smooths load imbalance between
+#: unevenly sized signature groups without shrinking groups themselves.
+SINGLE_SHARDS_PER_WORKER = 2
+
+
+def resolve_base_seed(
+    rng: np.random.Generator | int | None, seed: int | None
+) -> int:
+    """The one integer every per-shard seed derives from.
+
+    Explicit ``rng`` wins over the config ``seed``; a live generator
+    contributes a single draw (so reproducibility with a seeded generator is
+    preserved while the plan itself stays worker-count independent); with
+    neither, fresh entropy keeps the historical "unseeded run" behavior.
+    """
+    if isinstance(rng, np.random.Generator):
+        return int(rng.integers(0, 2**63))
+    if rng is not None:
+        return int(rng)
+    if seed is not None:
+        return int(seed)
+    return int(np.random.SeedSequence().entropy % (2**63))
+
+
+def shard_seed(base_seed: int, key: str) -> int:
+    """Deterministic per-shard seed: hash of the base seed and shard key.
+
+    ``sha256`` rather than Python's builtin ``hash`` so the value is stable
+    across interpreter runs, processes, and platforms.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _content_key(tuples: Iterable[RelTuple]) -> str:
+    """A stable key for a set of tuples, independent of iteration order."""
+    h = hashlib.sha256()
+    for codes in sorted(t.codes.tobytes() for t in tuples):
+        h.update(codes)
+    return h.hexdigest()[:16]
+
+
+def _single_groups(
+    entries: Sequence[tuple[int, RelTuple]], compiled: CompiledModel
+) -> list[tuple[tuple[int, bytes], list[tuple[int, RelTuple]]]]:
+    """Group single-missing entries by (attribute, evidence signature)."""
+    groups: dict[tuple[int, bytes], list[tuple[int, RelTuple]]] = {}
+    for idx, t in entries:
+        attr = t.missing_positions[0]
+        key = (attr, compiled[attr].signature(t.codes))
+        groups.setdefault(key, []).append((idx, t))
+    return sorted(groups.items(), key=lambda item: item[0])
+
+
+def _pack_single_shards(
+    groups: list[tuple[tuple[int, bytes], list[tuple[int, RelTuple]]]],
+    workers: int,
+) -> list[Shard]:
+    """Pack signature groups into at most ``workers * factor`` shards.
+
+    Greedy largest-group-first into the least-loaded bin; ties break on bin
+    index, so the packing is deterministic for a given workload.
+    """
+    if not groups:
+        return []
+    num_bins = min(len(groups), workers * SINGLE_SHARDS_PER_WORKER)
+    bins: list[list[tuple[int, RelTuple]]] = [[] for _ in range(num_bins)]
+    bin_groups = [0] * num_bins
+    order = sorted(
+        range(len(groups)), key=lambda i: (-len(groups[i][1]), groups[i][0])
+    )
+    for gi in order:
+        target = min(range(num_bins), key=lambda b: (len(bins[b]), b))
+        bins[target].extend(groups[gi][1])
+        bin_groups[target] += 1
+    shards = []
+    for b, entries in enumerate(bins):
+        if not entries:
+            continue
+        entries.sort(key=lambda e: e[0])  # workload order within the shard
+        indices = tuple(idx for idx, _ in entries)
+        tuples = tuple(t for _, t in entries)
+        shards.append(
+            Shard(
+                key=f"single:{b:03d}:{_content_key(tuples)}",
+                kind="single",
+                indices=indices,
+                tuples=tuples,
+                groups=bin_groups[b],
+            )
+        )
+    return shards
+
+
+def _components(
+    entries: Sequence[tuple[int, RelTuple]],
+) -> list[list[tuple[int, RelTuple]]]:
+    """Connected components of the subsumption graph over distinct tuples.
+
+    Duplicated tuples join their first occurrence's component.  Quadratic in
+    the number of *distinct* multi-missing tuples, exactly like the
+    :class:`~repro.core.tuple_dag.TupleDAG` it mirrors.
+    """
+    distinct: dict[RelTuple, int] = {}
+    members: list[list[tuple[int, RelTuple]]] = []
+    for idx, t in entries:
+        node = distinct.get(t)
+        if node is None:
+            distinct[t] = len(members)
+            members.append([(idx, t)])
+        else:
+            members[node].append((idx, t))
+    tuples = list(distinct)
+    parent = list(range(len(tuples)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for i, a in enumerate(tuples):
+        for j, b in enumerate(tuples):
+            if i != j and proper_subsumes(a, b):
+                ri, rj = find(i), find(j)
+                if ri != rj:
+                    parent[max(ri, rj)] = min(ri, rj)
+    by_root: dict[int, list[tuple[int, RelTuple]]] = {}
+    for i in range(len(tuples)):
+        by_root.setdefault(find(i), []).extend(members[i])
+    return [sorted(c, key=lambda e: e[0]) for _, c in sorted(by_root.items())]
+
+
+def plan_shards(
+    tuples: "Sequence[RelTuple]",
+    model: "MRSLModel",
+    workers: int = DEFAULT_WORKERS,
+    seed: int | None = None,
+    rng: np.random.Generator | int | None = None,
+    compiled: CompiledModel | None = None,
+) -> ShardPlan:
+    """Partition ``tuples`` (mixed single- and multi-missing) into shards.
+
+    The returned plan is deterministic given the workload, the model, and
+    ``workers``; its multi shards additionally never depend on ``workers``
+    at all.  The base seed is resolved (see :func:`resolve_base_seed`) only
+    when the workload actually contains multi-missing tuples, so RNG-free
+    workloads never consume entropy or disturb a caller's generator.
+    """
+    workers = validate_workers(workers)
+    single: list[tuple[int, RelTuple]] = []
+    multi: list[tuple[int, RelTuple]] = []
+    for idx, t in enumerate(tuples):
+        if t.is_complete:
+            raise ValueError("complete tuples do not belong in the workload")
+        (single if t.num_missing == 1 else multi).append((idx, t))
+
+    shards: list[Shard] = []
+    if single:
+        if compiled is None:
+            compiled = CompiledModel(model)
+        shards.extend(
+            _pack_single_shards(_single_groups(single, compiled), workers)
+        )
+
+    base_seed: int | None = None
+    if multi:
+        base_seed = resolve_base_seed(rng, seed)
+        for component in _components(multi):
+            distinct = {t for _, t in component}
+            key = f"multi:{_content_key(distinct)}"
+            shards.append(
+                Shard(
+                    key=key,
+                    kind="multi",
+                    indices=tuple(idx for idx, _ in component),
+                    tuples=tuple(t for _, t in component),
+                    seed=shard_seed(base_seed, key),
+                    groups=len(distinct),
+                )
+            )
+    return ShardPlan(
+        shards=tuple(shards), num_tuples=len(tuples), base_seed=base_seed
+    )

@@ -1,0 +1,153 @@
+"""The derivation runtime: plan, execute, and collect in one call.
+
+:func:`stream_derivation` is the streaming face — it plans the workload and
+yields :class:`~repro.exec.base.ShardResult` objects as shards finish, so a
+caller (the lazy deriver, a progress bar, a service handler) can consume
+completed blocks without waiting for the whole workload.
+:func:`execute_derivation` is the collecting face — it drains the stream
+into blocks in workload order, merges the Gibbs cost counters, and returns
+per-shard timing diagnostics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.tuple_dag import SamplingStats
+from .base import ExecReport, ShardPlan, ShardResult
+from .executors import ExecContext, Executor, get_executor
+from .plan import plan_shards
+from .work import ShardKnobs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import BatchInferenceEngine
+    from ..core.mrsl import MRSLModel
+    from ..probdb.blocks import TupleBlock
+    from ..relational.tuples import RelTuple
+
+__all__ = ["ExecOutcome", "stream_derivation", "execute_derivation"]
+
+
+@dataclass
+class ExecOutcome:
+    """Everything one executed derivation workload produced."""
+
+    #: one block per workload tuple, in workload order
+    blocks: "list[TupleBlock]"
+    #: merged Gibbs cost counters across all multi shards
+    stats: SamplingStats
+    #: per-shard timing / placement diagnostics
+    report: ExecReport
+    plan: ShardPlan
+
+
+def _merge_stats(into: SamplingStats, stats: SamplingStats) -> None:
+    into.total_draws += stats.total_draws
+    into.burn_in_draws += stats.burn_in_draws
+    into.shared_tuples += stats.shared_tuples
+    into.promoted_tuples += stats.promoted_tuples
+
+
+def stream_derivation(
+    tuples: "Sequence[RelTuple]",
+    model: "MRSLModel",
+    config: Any,
+    rng: np.random.Generator | int | None = None,
+    batch_engine: "BatchInferenceEngine | None" = None,
+    executor: "Executor | str | None" = None,
+    plan: ShardPlan | None = None,
+) -> Iterator[ShardResult]:
+    """Plan ``tuples`` and yield shard results as they complete.
+
+    ``config`` is any :class:`~repro.api.config.DeriveConfig`-shaped object
+    (the knobs are read as attributes, so this module never imports the api
+    layer).  ``executor`` overrides ``config.executor``/``config.workers``
+    when given; ``plan`` skips planning when the caller already has one.
+    """
+    chosen = get_executor(
+        config.executor if executor is None else executor, config.workers
+    )
+    context = ExecContext(
+        model=model,
+        knobs=ShardKnobs.from_config(config),
+        batch_engine=batch_engine,
+    )
+    if plan is None:
+        plan = _plan(tuples, model, config, rng, chosen, context)
+    yield from chosen.run(plan, context)
+
+
+def _plan(
+    tuples, model, config, rng, chosen: Executor, context: ExecContext
+) -> ShardPlan:
+    """Plan the workload, reusing compiled structures where possible.
+
+    Serial execution warms the context's engine up front so the planner's
+    signature computation and the kernels share one compiled model instead
+    of compiling twice.
+    """
+    compiled = None
+    if context.batch_engine is None and chosen.name == "serial":
+        context.warm_engine()
+    if context.batch_engine is not None:
+        compiled = context.batch_engine.compiled
+    return plan_shards(
+        tuples,
+        model,
+        workers=chosen.workers,
+        seed=config.seed,
+        rng=rng,
+        compiled=compiled,
+    )
+
+
+def execute_derivation(
+    tuples: "Sequence[RelTuple]",
+    model: "MRSLModel",
+    config: Any,
+    rng: np.random.Generator | int | None = None,
+    batch_engine: "BatchInferenceEngine | None" = None,
+    executor: "Executor | str | None" = None,
+    on_shard: Callable[[ShardResult], None] | None = None,
+) -> ExecOutcome:
+    """Derive blocks for ``tuples``, collecting the stream in input order.
+
+    ``on_shard`` is invoked with every :class:`ShardResult` as it lands —
+    the progress hook for long derivations.
+    """
+    chosen = get_executor(
+        config.executor if executor is None else executor, config.workers
+    )
+    context = ExecContext(
+        model=model,
+        knobs=ShardKnobs.from_config(config),
+        batch_engine=batch_engine,
+    )
+    plan = _plan(tuples, model, config, rng, chosen, context)
+    groups_by_key = {shard.key: shard.groups for shard in plan.shards}
+    blocks: "list[TupleBlock | None]" = [None] * len(tuples)
+    stats = SamplingStats()
+    report = ExecReport(
+        executor=chosen.name,
+        workers=chosen.workers,
+        num_shards=len(plan),
+        num_tuples=len(tuples),
+    )
+    start = time.perf_counter()
+    for result in chosen.run(plan, context):
+        for idx, block in zip(result.indices, result.blocks):
+            blocks[idx] = block
+        if result.stats is not None:
+            _merge_stats(stats, result.stats)
+        report.add(result, groups_by_key.get(result.key, 1))
+        if on_shard is not None:
+            on_shard(result)
+    report.elapsed = time.perf_counter() - start
+    missing = [i for i, b in enumerate(blocks) if b is None]
+    if missing:  # pragma: no cover - executors yield every planned shard
+        raise RuntimeError(f"shard execution left {len(missing)} tuples unfilled")
+    return ExecOutcome(blocks=blocks, stats=stats, report=report, plan=plan)

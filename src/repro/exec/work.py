@@ -1,0 +1,223 @@
+"""Shard kernels: the per-shard computation, runnable in any process.
+
+Two kernels, one per shard kind:
+
+* :func:`single_shard_blocks` — Algorithm 2 over a batch of single-missing
+  tuples.  This is the computation that used to live inline in
+  :func:`repro.core.derive.single_missing_blocks`; it is hoisted here so
+  the serial path, thread workers, and process workers all run the exact
+  same code (and therefore produce bit-identical distributions).
+
+* :func:`multi_shard_blocks` — Algorithm 3 Gibbs over one subsumption
+  component, seeded with the shard's deterministic seed.
+
+The ``_process_*`` functions are the :class:`ProcessExecutor` worker
+protocol: the initializer receives the persisted model JSON (never a
+pickled live engine), rebuilds the model, validates it against the parent's
+compiled-engine metadata, and keeps one warm
+:class:`~repro.core.engine.BatchInferenceEngine` per worker process for the
+life of the pool.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..core.engine import BatchInferenceEngine
+from ..core.inference import VoterChoice, VotingScheme, infer_single
+from ..core.mrsl import MRSLModel
+from ..core.tuple_dag import workload_sampling
+from ..probdb.blocks import TupleBlock
+from ..probdb.distribution import Distribution
+from ..relational.tuples import RelTuple
+from .base import Shard, ShardResult
+
+__all__ = [
+    "ShardKnobs",
+    "single_shard_blocks",
+    "multi_shard_blocks",
+    "run_shard",
+]
+
+
+@dataclass(frozen=True)
+class ShardKnobs:
+    """The pipeline knobs a shard kernel needs, as picklable primitives."""
+
+    v_choice: str
+    v_scheme: str
+    engine: str
+    num_samples: int
+    burn_in: int
+    strategy: str
+
+    @classmethod
+    def from_config(cls, cfg: Any) -> "ShardKnobs":
+        """Extract the kernel knobs from any DeriveConfig-shaped object."""
+        return cls(
+            v_choice=cfg.v_choice,
+            v_scheme=cfg.v_scheme,
+            engine=cfg.engine,
+            num_samples=cfg.num_samples,
+            burn_in=cfg.burn_in,
+            strategy=cfg.strategy,
+        )
+
+
+def single_shard_blocks(
+    tuples: Sequence[RelTuple],
+    model: MRSLModel,
+    knobs: ShardKnobs,
+    batch_engine: BatchInferenceEngine | None = None,
+) -> list[TupleBlock]:
+    """Blocks for a batch of single-missing tuples under the chosen engine.
+
+    The compiled path groups the batch by evidence signature and serves
+    each group with one matrix combine; the naive path loops tuple-at-a-time
+    and is kept as the correctness oracle.
+    """
+    v_choice = VoterChoice(knobs.v_choice)
+    v_scheme = VotingScheme(knobs.v_scheme)
+    if knobs.engine == "naive":
+        blocks = []
+        for t in tuples:
+            attr = t.missing_positions[0]
+            cpd = infer_single(t, model[attr], v_choice, v_scheme)
+            # Block outcomes are 1-tuples of values, per TupleBlock's
+            # convention.
+            outcomes = [(value,) for value in cpd.outcomes]
+            blocks.append(TupleBlock(t, Distribution(outcomes, cpd.probs)))
+        return blocks
+    if batch_engine is None:
+        batch_engine = BatchInferenceEngine(model, v_choice, v_scheme)
+    cpds = batch_engine.infer_batch(tuples, v_choice, v_scheme)
+    # Tuples sharing a CPD (same evidence signature) share one immutable
+    # block distribution; only the per-tuple base differs.  Wrapping the
+    # value-level Distribution (rather than the raw CPD vector) matters for
+    # the oracle guarantee: the naive path normalizes twice — once inside
+    # infer_single, once here — and bit-for-bit parity requires the same.
+    shared: dict[int, Distribution] = {}
+    blocks = []
+    for t, cpd in zip(tuples, cpds):
+        dist = shared.get(id(cpd))
+        if dist is None:
+            outcomes = [(value,) for value in cpd.outcomes]
+            dist = Distribution(outcomes, cpd.probs)
+            shared[id(cpd)] = dist
+        blocks.append(TupleBlock(t, dist))
+    return blocks
+
+
+def multi_shard_blocks(
+    tuples: Sequence[RelTuple],
+    model: MRSLModel,
+    knobs: ShardKnobs,
+    seed: int,
+):
+    """Algorithm 3 over one subsumption component with its own seeded RNG.
+
+    Returns ``(blocks, stats)`` exactly as
+    :func:`~repro.core.tuple_dag.workload_sampling` does.  The per-shard
+    generator is what makes the result independent of which worker (or how
+    many workers) ran the shard.
+    """
+    return workload_sampling(
+        model,
+        list(tuples),
+        num_samples=knobs.num_samples,
+        burn_in=knobs.burn_in,
+        strategy=knobs.strategy,
+        v_choice=knobs.v_choice,
+        v_scheme=knobs.v_scheme,
+        rng=np.random.default_rng(seed),
+        engine=knobs.engine,
+    )
+
+
+def run_shard(
+    shard: Shard,
+    model: MRSLModel,
+    knobs: ShardKnobs,
+    batch_engine: BatchInferenceEngine | None = None,
+    worker: str = "main",
+) -> ShardResult:
+    """Run one shard through the matching kernel, timing it."""
+    start = time.perf_counter()
+    if shard.kind == "single":
+        blocks = single_shard_blocks(
+            shard.tuples, model, knobs, batch_engine=batch_engine
+        )
+        stats = None
+    elif shard.kind == "multi":
+        assert shard.seed is not None, "multi shards carry a seed"
+        blocks, stats = multi_shard_blocks(
+            shard.tuples, model, knobs, shard.seed
+        )
+    else:
+        raise ValueError(f"unknown shard kind {shard.kind!r}")
+    return ShardResult(
+        key=shard.key,
+        kind=shard.kind,
+        indices=shard.indices,
+        blocks=tuple(blocks),
+        stats=stats,
+        elapsed=time.perf_counter() - start,
+        worker=worker,
+    )
+
+
+# -- ProcessExecutor worker protocol ----------------------------------------
+
+#: Per-worker-process state: built once by the pool initializer, reused by
+#: every shard the worker runs (the "one warm engine per worker" invariant).
+_WORKER_STATE: dict[str, Any] | None = None
+
+
+def _process_worker_init(
+    model_doc: Mapping[str, Any],
+    knobs: ShardKnobs,
+    expected_metadata: Mapping[str, Any] | None,
+) -> None:
+    """Rebuild the model from its persisted JSON form inside the worker.
+
+    The parent ships :func:`~repro.core.persistence.model_to_dict` output
+    plus its compiled-engine metadata; the worker rebuilds and *validates*
+    that its compiled structures match the parent's before serving shards.
+    """
+    global _WORKER_STATE
+    from ..core.persistence import model_from_dict, verify_compiled_metadata
+
+    model = model_from_dict(dict(model_doc))
+    engine = (
+        BatchInferenceEngine(model, knobs.v_choice, knobs.v_scheme)
+        if knobs.engine == "compiled"
+        else None
+    )
+    if expected_metadata is not None:
+        # Validate (and warm) the engine's own compiled structures rather
+        # than compiling a throwaway second copy.
+        verify_compiled_metadata(
+            model,
+            expected_metadata,
+            compiled=None if engine is None else engine.compiled,
+        )
+    _WORKER_STATE = {"model": model, "engine": engine, "knobs": knobs}
+
+
+def _process_run_shard(shard: Shard) -> ShardResult:
+    """Run one shard against the worker's warm state."""
+    state = _WORKER_STATE
+    if state is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("worker process was not initialized")
+    return run_shard(
+        shard,
+        state["model"],
+        state["knobs"],
+        batch_engine=state["engine"],
+        worker=f"pid-{os.getpid()}",
+    )

@@ -121,6 +121,8 @@ class TestCliDefaultsMatchConfig:
         "burn_in": "burn_in",
         "seed": "seed",
         "engine": "engine",
+        "executor": "executor",
+        "workers": "workers",
     }
 
     @pytest.mark.parametrize("dest,field", sorted(SHARED_KNOBS.items()))

@@ -1,0 +1,402 @@
+"""Tests for the sharded derivation runtime (repro.exec).
+
+The load-bearing guarantee: serial, thread, and process executors produce
+bit-identical probabilistic databases for any worker count, on both the
+paper's Fig. 1 relation and a census sample.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.config import DeriveConfig
+from repro.api.session import Session
+from repro.bench.masking import mask_relation
+from repro.core import derive_probabilistic_database, single_missing_blocks
+from repro.core.lazy import LazyDeriver
+from repro.core.learning import learn_mrsl
+from repro.core.persistence import (
+    compiled_metadata,
+    load_model,
+    save_model,
+    verify_compiled_metadata,
+)
+from repro.datasets.census import load_census
+from repro.exec import (
+    EXECUTORS,
+    ProcessExecutor,
+    SerialExecutor,
+    get_executor,
+    plan_shards,
+    shard_seed,
+    stream_derivation,
+)
+from repro.relational import Relation, make_tuple
+
+
+def assert_identical_databases(a, b):
+    """Bit-for-bit equality of two derived probabilistic databases."""
+    assert len(a.blocks) == len(b.blocks)
+    for ba, bb in zip(a.blocks, b.blocks):
+        assert ba.base == bb.base
+        assert ba.distribution.outcomes == bb.distribution.outcomes
+        assert (ba.distribution.probs == bb.distribution.probs).all()
+
+
+@pytest.fixture(scope="module")
+def census_relation():
+    """A census sample mixing complete, single- and multi-missing tuples."""
+    rng = np.random.default_rng(7)
+    train, _ = load_census(250, rng)
+    test, _ = load_census(30, rng)
+    masked = mask_relation(test, (1, 1, 1, 2), rng)
+    return Relation(train.schema, list(train) + list(masked))
+
+
+@pytest.fixture(scope="module")
+def census_model(census_relation):
+    return learn_mrsl(census_relation, support_threshold=0.02).model
+
+
+CENSUS_CONFIG = dict(
+    support_threshold=0.02, num_samples=40, burn_in=5, seed=5
+)
+
+
+@pytest.fixture(scope="module")
+def census_baseline(census_relation, census_model):
+    return derive_probabilistic_database(
+        census_relation,
+        config=DeriveConfig(**CENSUS_CONFIG),
+        model=census_model,
+    )
+
+
+# -- the planner -------------------------------------------------------------
+
+
+class TestPlanner:
+    def test_single_shards_group_by_signature(self, census_relation, census_model):
+        singles = [
+            t for t in census_relation.incomplete_part() if t.num_missing == 1
+        ]
+        plan = plan_shards(singles, census_model, workers=2)
+        assert not plan.multi_shards
+        assert sum(len(s) for s in plan.single_shards) == len(singles)
+        # Packing is bounded by workers * factor, and every shard carries
+        # at least one signature group.
+        assert len(plan.single_shards) <= 4
+        assert all(s.groups >= 1 for s in plan.single_shards)
+
+    def test_multi_shards_follow_subsumption_components(
+        self, fig1_schema, fig1_relation
+    ):
+        # t5 <20,?,?,?> subsumes t1 <20,HS,?,?>: one component.  t12
+        # <30,MS,?,?> is unrelated: its own component.
+        t1 = make_tuple(fig1_schema, {"age": "20", "edu": "HS"})
+        t5 = make_tuple(fig1_schema, {"age": "20"})
+        t12 = make_tuple(fig1_schema, {"age": "30", "edu": "MS"})
+        model = learn_mrsl(fig1_relation, support_threshold=0.1).model
+        plan = plan_shards([t1, t12, t5], model, seed=3)
+        multis = plan.multi_shards
+        assert len(multis) == 2
+        by_size = sorted(multis, key=len)
+        assert set(by_size[0].tuples) == {t12}
+        assert set(by_size[1].tuples) == {t1, t5}
+
+    def test_multi_seeds_independent_of_worker_count(self, fig1_relation):
+        multi = [
+            t for t in fig1_relation.incomplete_part() if t.num_missing > 1
+        ]
+        model = learn_mrsl(fig1_relation, support_threshold=0.1).model
+        plans = [
+            plan_shards(multi, model, workers=w, seed=5) for w in (1, 2, 4)
+        ]
+        keys = [
+            sorted((s.key, s.seed) for s in p.multi_shards) for p in plans
+        ]
+        assert keys[0] == keys[1] == keys[2]
+
+    def test_seed_changes_shard_seeds(self, fig1_relation):
+        multi = [
+            t for t in fig1_relation.incomplete_part() if t.num_missing > 1
+        ]
+        model = learn_mrsl(fig1_relation, support_threshold=0.1).model
+        a = plan_shards(multi, model, seed=1)
+        b = plan_shards(multi, model, seed=2)
+        assert [s.seed for s in a.multi_shards] != [
+            s.seed for s in b.multi_shards
+        ]
+
+    def test_shard_seed_is_stable(self):
+        assert shard_seed(11, "multi:abc") == shard_seed(11, "multi:abc")
+        assert shard_seed(11, "multi:abc") != shard_seed(12, "multi:abc")
+
+    def test_complete_tuples_rejected(self, fig1_relation):
+        model = learn_mrsl(fig1_relation, support_threshold=0.1).model
+        complete = next(iter(fig1_relation.complete_part()))
+        with pytest.raises(ValueError, match="complete tuples"):
+            plan_shards([complete], model)
+
+    def test_rng_free_workloads_consume_no_entropy(self, fig1_relation):
+        singles = [
+            t for t in fig1_relation.incomplete_part() if t.num_missing == 1
+        ]
+        model = learn_mrsl(fig1_relation, support_threshold=0.1).model
+        gen = np.random.default_rng(0)
+        state_before = gen.bit_generator.state
+        plan = plan_shards(singles, model, rng=gen)
+        assert plan.base_seed is None
+        assert gen.bit_generator.state == state_before
+
+
+# -- executor determinism -----------------------------------------------------
+
+
+FIG1_CONFIG = dict(support_threshold=0.1, num_samples=50, burn_in=10, seed=11)
+
+
+class TestDeterminism:
+    @pytest.fixture
+    def fig1_baseline(self, fig1_relation):
+        return derive_probabilistic_database(
+            fig1_relation, config=DeriveConfig(**FIG1_CONFIG)
+        )
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_fig1_bit_identical(
+        self, fig1_relation, fig1_baseline, executor, workers
+    ):
+        cfg = DeriveConfig(**FIG1_CONFIG, executor=executor, workers=workers)
+        result = derive_probabilistic_database(fig1_relation, config=cfg)
+        assert_identical_databases(fig1_baseline.database, result.database)
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_census_bit_identical(
+        self, census_relation, census_model, census_baseline, executor,
+        workers,
+    ):
+        cfg = DeriveConfig(
+            **CENSUS_CONFIG, executor=executor, workers=workers
+        )
+        result = derive_probabilistic_database(
+            census_relation, config=cfg, model=census_model
+        )
+        assert_identical_databases(census_baseline.database, result.database)
+
+    def test_naive_engine_identical_across_executors(self, fig1_relation):
+        cfg = DeriveConfig(**FIG1_CONFIG, engine="naive")
+        baseline = derive_probabilistic_database(fig1_relation, config=cfg)
+        threaded = derive_probabilistic_database(
+            fig1_relation,
+            config=cfg.replacing(executor="thread", workers=2),
+        )
+        assert_identical_databases(baseline.database, threaded.database)
+
+    def test_reproducible_via_generator(self, fig1_relation):
+        """A seeded generator still reproduces across separate runs."""
+        runs = [
+            derive_probabilistic_database(
+                fig1_relation,
+                support_threshold=0.1,
+                num_samples=50,
+                burn_in=10,
+                rng=np.random.default_rng(9),
+            )
+            for _ in range(2)
+        ]
+        assert_identical_databases(runs[0].database, runs[1].database)
+
+
+# -- the streaming collector ---------------------------------------------------
+
+
+class TestStreaming:
+    def test_stream_yields_every_shard_once(self, fig1_relation):
+        model = learn_mrsl(fig1_relation, support_threshold=0.1).model
+        tuples = list(fig1_relation.incomplete_part())
+        cfg = DeriveConfig(**FIG1_CONFIG)
+        plan = plan_shards(tuples, model, seed=cfg.seed)
+        results = list(
+            stream_derivation(tuples, model, cfg, plan=plan)
+        )
+        assert sorted(r.key for r in results) == sorted(
+            s.key for s in plan.shards
+        )
+        covered = sorted(i for r in results for i in r.indices)
+        assert covered == list(range(len(tuples)))
+        for r in results:
+            assert len(r.blocks) == len(r.indices)
+            assert r.elapsed >= 0.0
+            assert r.worker
+
+    def test_exec_report_diagnostics(self, fig1_relation):
+        cfg = DeriveConfig(**FIG1_CONFIG)
+        result = derive_probabilistic_database(fig1_relation, config=cfg)
+        report = result.exec_report
+        assert report is not None
+        assert report.executor == "serial"
+        assert report.num_tuples == fig1_relation.num_incomplete
+        assert len(report.timings) == report.num_shards
+        assert report.slowest(2)
+        assert "shards" in report.summary()
+
+
+# -- executor plumbing ----------------------------------------------------------
+
+
+class TestExecutorSelection:
+    def test_get_executor_by_name(self):
+        assert isinstance(get_executor("process", 3), ProcessExecutor)
+        assert get_executor("process", 3).workers == 3
+
+    def test_get_executor_passthrough(self):
+        ex = SerialExecutor(2)
+        assert get_executor(ex) is ex
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            get_executor("gpu")
+        with pytest.raises(ValueError, match="executor"):
+            DeriveConfig(executor="gpu")
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            DeriveConfig(workers=0)
+
+    def test_executor_instance_conflicts_with_workers(self, fig1_relation):
+        with pytest.raises(ValueError, match="pre-built Executor"):
+            derive_probabilistic_database(
+                fig1_relation,
+                support_threshold=0.1,
+                executor=SerialExecutor(2),
+                workers=4,
+            )
+
+    def test_single_missing_blocks_rejects_multi(self, fig1_schema, fig1_relation):
+        model = learn_mrsl(fig1_relation, support_threshold=0.1).model
+        t = make_tuple(fig1_schema, {"age": "20"})
+        with pytest.raises(ValueError, match="exactly one missing"):
+            single_missing_blocks([t], model)
+
+    def test_single_missing_blocks_executor_override(
+        self, fig1_schema, fig1_relation
+    ):
+        model = learn_mrsl(fig1_relation, support_threshold=0.1).model
+        singles = [
+            t for t in fig1_relation.incomplete_part() if t.num_missing == 1
+        ]
+        serial = single_missing_blocks(singles, model)
+        threaded = single_missing_blocks(
+            singles, model, executor="thread", workers=2
+        )
+        for a, b in zip(serial, threaded):
+            assert a.base == b.base
+            assert (a.distribution.probs == b.distribution.probs).all()
+
+
+# -- the lazy path ---------------------------------------------------------------
+
+
+class TestLazyPrefetch:
+    def test_prefetch_skips_cached_tuples(self, fig1_relation):
+        deriver = LazyDeriver(
+            fig1_relation, support_threshold=0.1,
+            num_samples=50, burn_in=10, rng=0,
+        )
+        incomplete = list(fig1_relation.incomplete_part())
+        deriver.prefetch(incomplete[:3])
+        first = deriver.materialized
+        cached = {t: deriver.block(t) for t in incomplete[:3]}
+        # Prefetching a superset must not re-derive (or replace) the
+        # already-cached blocks.
+        deriver.prefetch(incomplete)
+        assert deriver.materialized == len(set(incomplete))
+        for t, block in cached.items():
+            assert deriver.block(t) is block
+        assert deriver.materialized >= first
+
+    def test_prefetch_dedupes_input(self, fig1_schema, fig1_relation):
+        deriver = LazyDeriver(
+            fig1_relation, support_threshold=0.1,
+            num_samples=50, burn_in=10, rng=0,
+        )
+        t = make_tuple(fig1_schema, {"age": "30", "edu": "MS"})
+        deriver.prefetch([t, t, t])
+        assert deriver.materialized == 1
+
+    def test_lazy_executor_knob(self, fig1_relation):
+        serial = LazyDeriver(
+            fig1_relation, support_threshold=0.1,
+            num_samples=50, burn_in=10, rng=4,
+        )
+        threaded = LazyDeriver(
+            fig1_relation, support_threshold=0.1,
+            num_samples=50, burn_in=10, rng=4,
+            executor="thread", workers=2,
+        )
+        assert_identical_databases(
+            serial.materialize_all(), threaded.materialize_all()
+        )
+
+
+# -- session / service plumbing ---------------------------------------------------
+
+
+class TestSessionExecutors:
+    def test_session_derive_executor_override(self, fig1_relation):
+        session = Session(
+            {"support_threshold": 0.1, "num_samples": 50,
+             "burn_in": 10, "seed": 2}
+        )
+        baseline = session.derive(fig1_relation, name="serial")
+        sharded = session.derive(
+            fig1_relation, name="sharded", executor="thread", workers=2
+        )
+        assert_identical_databases(baseline.database, sharded.database)
+
+    def test_derive_request_executor_fields_roundtrip(self):
+        from repro.api.service import DeriveRequest
+
+        request = DeriveRequest.from_dict(
+            {"rows": [["20", "HS", "?", "?"]], "executor": "process",
+             "workers": 2}
+        )
+        assert request.executor == "process"
+        assert request.workers == 2
+        assert DeriveRequest.from_dict(request.to_dict()) == request
+
+
+# -- process rebuild validation ----------------------------------------------------
+
+
+class TestCompiledMetadata:
+    def test_roundtrip_validates(self, fig1_relation, tmp_path):
+        model = learn_mrsl(fig1_relation, support_threshold=0.1).model
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        reloaded = load_model(path)  # load_model verifies when present
+        verify_compiled_metadata(reloaded, compiled_metadata(model))
+
+    def test_tampered_model_rejected(self, fig1_relation, tmp_path):
+        import json
+
+        model = learn_mrsl(fig1_relation, support_threshold=0.1).model
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        doc = json.loads(path.read_text())
+        doc["lattices"][0]["meta_rules"][0]["weight"] *= 0.5
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="compiled model mismatch"):
+            load_model(path)
+
+    def test_metadata_shape(self, census_model):
+        meta = compiled_metadata(census_model)
+        assert meta["version"] == 1
+        assert len(meta["attributes"]) == len(census_model.schema)
+        for entry in meta["attributes"]:
+            assert set(entry) == {
+                "attribute", "rules", "max_body", "cpd_shape",
+                "signature_attrs", "digest",
+            }
