@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.bayesnet import forward_sample_relation, make_network
-from repro.bench import independent_product, mask_relation
+from repro.bench import independent_product
 from repro.bench.metrics import true_joint_posterior
 from repro.core import estimate_joint, learn_mrsl, workload_sampling
 from repro.relational import make_tuple

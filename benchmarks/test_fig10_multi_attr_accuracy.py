@@ -6,7 +6,6 @@ attributes, on BN8 (very accurate), BN17 (larger, lower accuracy) and BN2
 improves with more samples per tuple, and fewer missing values are easier.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench import run_multi_attribute_experiment

@@ -6,7 +6,6 @@ methods are more graceful at very small ones (bias/variance trade-off).
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import ALL_VOTING_METHODS, run_single_attribute_experiment
 from repro.core import VoterChoice, VotingScheme

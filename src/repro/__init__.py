@@ -59,12 +59,19 @@ from .api import (
     Session,
 )
 from .exec import (
+    DerivationCancelled,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
     execute_derivation,
     plan_shards,
     stream_derivation,
+)
+from .jobs import (
+    Job,
+    JobManager,
+    ProgressSnapshot,
+    ProgressTracker,
 )
 from .probdb import (
     Distribution,
@@ -143,4 +150,10 @@ __all__ = [
     "plan_shards",
     "stream_derivation",
     "execute_derivation",
+    "DerivationCancelled",
+    # jobs
+    "Job",
+    "JobManager",
+    "ProgressTracker",
+    "ProgressSnapshot",
 ]

@@ -46,6 +46,7 @@ _LAZY = {
     "LearnResponse": ".service",
     "DeriveRequest": ".service",
     "DeriveResponse": ".service",
+    "AsyncDeriveResponse": ".service",
     "QueryRequest": ".service",
     "QueryResponse": ".service",
     "InferRequest": ".service",

@@ -88,6 +88,16 @@ class DeriveConfig:
                 f"strategy must be one of {STRATEGIES}, got {self.strategy!r}"
             )
 
+    @property
+    def parallelism(self) -> int:
+        """Worker count the executor will actually run (serial is always 1).
+
+        ``workers`` is legal alongside ``executor="serial"`` but ignored by
+        the serial executor; progress estimates (running shards, ETA) must
+        size themselves from this, not from raw ``workers``.
+        """
+        return 1 if self.executor == "serial" else self.workers
+
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:

@@ -1,18 +1,27 @@
 """A stdlib HTTP front-end for :class:`~repro.api.service.InferenceService`.
 
 No third-party web framework: ``http.server.ThreadingHTTPServer`` carries
-the JSON wire format of :mod:`repro.api.service` for batch traffic.
+the JSON wire format of :mod:`repro.api.service` for batch traffic, plus
+the async job surface of :mod:`repro.jobs` for long-running derivations.
 
 Routes::
 
-    GET  /v1/health           liveness + registered models/databases
-    POST /v1/learn            LearnRequest   -> LearnResponse
-    POST /v1/derive           DeriveRequest  -> DeriveResponse
-    POST /v1/infer            InferRequest   -> InferResponse
-    POST /v1/query            QueryRequest   -> QueryResponse
+    GET  /v1/health                 liveness + registered models/databases
+    POST /v1/learn                  LearnRequest   -> LearnResponse
+    POST /v1/derive                 DeriveRequest  -> DeriveResponse
+    POST /v1/derive?mode=async      DeriveRequest  -> {"job_id", "state"}
+    POST /v1/infer                  InferRequest   -> InferResponse
+    POST /v1/query                  QueryRequest   -> QueryResponse
+    GET  /v1/jobs/{id}              job status + shard-aware progress
+    GET  /v1/jobs/{id}/result       the finished job's DeriveResponse
+    POST /v1/jobs/{id}/cancel       cooperative cancellation
+    GET  /v1/jobs/{id}/events       chunked ndjson shard-completion stream
+                                    (?after=N resumes, ?timeout=S bounds it)
 
 Errors come back as ``{"error": {"status": ..., "message": ...}}`` with the
-matching HTTP status.  Start a server with ``repro serve`` on the CLI, or
+matching HTTP status — including malformed request bodies (bad JSON,
+non-UTF-8 bytes, an unparsable Content-Length), which are structured 400s,
+never tracebacks.  Start a server with ``repro serve`` on the CLI, or
 programmatically::
 
     server = make_server(InferenceService(session), port=0)
@@ -22,8 +31,11 @@ programmatically::
 from __future__ import annotations
 
 import json
+import math
 import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Iterable
+from urllib.parse import parse_qs, urlsplit
 
 from .service import InferenceService, ServiceError
 
@@ -31,25 +43,76 @@ __all__ = ["API_PREFIX", "make_server", "serve"]
 
 API_PREFIX = "/v1/"
 
+#: Upper bound on how long an idle ``/events`` stream waits for news.
+DEFAULT_EVENTS_TIMEOUT = 300.0
+
 
 class _ServiceHandler(BaseHTTPRequestHandler):
-    """Maps HTTP verbs onto ``InferenceService.handle_json``."""
+    """Maps HTTP verbs onto ``InferenceService.handle_json`` + job routes."""
 
     #: bound by :func:`make_server` on the per-server subclass
     service: InferenceService
     quiet: bool = True
-    server_version = "repro-serve/1.0"
+    server_version = "repro-serve/1.1"
     protocol_version = "HTTP/1.1"
 
     def log_message(self, format: str, *args) -> None:
         if not self.quiet:
             super().log_message(format, *args)
 
-    def _endpoint(self) -> str | None:
-        path = self.path.split("?", 1)[0].rstrip("/")
-        if path.startswith(API_PREFIX.rstrip("/") + "/"):
-            return path[len(API_PREFIX):]
-        return None
+    # -- request plumbing ----------------------------------------------------
+
+    def _route(self) -> tuple[list[str], dict[str, str]]:
+        """Path segments under the API prefix plus single-valued query args."""
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/")
+        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+        prefix = API_PREFIX.rstrip("/") + "/"
+        if not path.startswith(prefix):
+            return [], query
+        return [seg for seg in path[len(prefix):].split("/") if seg], query
+
+    def _drain_body(self) -> bytes:
+        """Read (and thereby drain) the request body off the socket.
+
+        Draining must happen before *any* response on a keep-alive
+        connection — unread body bytes would be parsed as the start of the
+        client's next request.
+        """
+        encoding = (self.headers.get("Transfer-Encoding") or "").lower()
+        if "chunked" in encoding:
+            # No Content-Length to drain by; refuse and drop the
+            # connection rather than desync on the unread chunks.
+            self.close_connection = True
+            raise ServiceError(
+                "chunked request bodies are not supported; "
+                "send a Content-Length",
+                status=411,
+            )
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            # Cannot know how much to drain; the connection is unusable
+            # past this request, so close it after responding.
+            self.close_connection = True
+            raise ServiceError("Content-Length header is not an integer") from None
+        return self.rfile.read(length) if length > 0 else b"{}"
+
+    @staticmethod
+    def _parse_json(raw: bytes) -> Any:
+        """Parse a drained body; every malformation is a structured 400."""
+        try:
+            text = raw.decode("utf-8") or "{}"
+        except UnicodeDecodeError as exc:
+            raise ServiceError(
+                f"request body is not valid UTF-8: {exc}"
+            ) from exc
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"request body is not valid JSON: {exc}"
+            ) from exc
 
     def _respond(self, status: int, body: dict) -> None:
         data = json.dumps(body).encode("utf-8")
@@ -59,35 +122,113 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server naming
-        if self._endpoint() == "health":
-            self._respond(200, self.service.handle_json("health", {}))
-        else:
-            self._respond(
-                404, ServiceError("not found; try GET /v1/health", 404).to_dict()
-            )
-
-    def do_POST(self) -> None:  # noqa: N802 - http.server naming
-        endpoint = self._endpoint()
-        if endpoint is None:
-            self._respond(
-                404,
-                ServiceError(
-                    f"not found; endpoints live under {API_PREFIX}", 404
-                ).to_dict(),
-            )
-            return
+    def _respond_stream(self, events: Iterable[dict]) -> None:
+        """Chunked ndjson: one JSON event per line, as each shard lands."""
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
         try:
-            length = int(self.headers.get("Content-Length") or 0)
-            raw = self.rfile.read(length) if length else b"{}"
-            payload = json.loads(raw.decode("utf-8") or "{}")
-            body = self.service.handle_json(endpoint, payload)
-            self._respond(200, body)
+            for event in events:
+                data = (json.dumps(event) + "\n").encode("utf-8")
+                self.wfile.write(f"{len(data):X}\r\n".encode("ascii"))
+                self.wfile.write(data + b"\r\n")
+                self.wfile.flush()
+        except Exception:
+            # The status line is gone; a second response head would corrupt
+            # the stream.  Abort the connection so the client sees a
+            # truncated chunked body, not a fake clean end.
+            self.close_connection = True
+            return
+        self.wfile.write(b"0\r\n\r\n")
+
+    def _not_found(self, hint: str) -> None:
+        self._respond(404, ServiceError(hint, 404).to_dict())
+
+    # -- verbs ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        segments, query = self._route()
+        try:
+            if segments == ["health"]:
+                self._respond(200, self.service.handle_json("health", {}))
+            elif len(segments) == 2 and segments[0] == "jobs":
+                self._respond(200, self.service.job_status(segments[1]))
+            elif len(segments) == 3 and segments[0] == "jobs":
+                job_id, tail = segments[1], segments[2]
+                if tail == "result":
+                    self._respond(200, self.service.job_result(job_id))
+                elif tail == "events":
+                    try:
+                        after = int(query.get("after", 0))
+                        timeout = float(
+                            query.get("timeout", DEFAULT_EVENTS_TIMEOUT)
+                        )
+                    except ValueError:
+                        raise ServiceError(
+                            "'after' must be an integer and 'timeout' a "
+                            "number"
+                        ) from None
+                    if math.isnan(timeout):
+                        raise ServiceError("'timeout' must be a number")
+                    # The documented ceiling is a real bound: an idle
+                    # stream never pins a handler thread longer than this.
+                    timeout = min(max(0.0, timeout), DEFAULT_EVENTS_TIMEOUT)
+                    events = self.service.job_events(
+                        job_id, after=after, timeout=timeout
+                    )
+                    self._respond_stream(events)
+                else:
+                    self._not_found(
+                        f"unknown job endpoint {tail!r}; "
+                        "try /result, /events, or POST /cancel"
+                    )
+            else:
+                self._not_found(
+                    "not found; try GET /v1/health or GET /v1/jobs/{id}"
+                )
         except ServiceError as exc:
             self._respond(exc.status, exc.to_dict())
-        except json.JSONDecodeError as exc:
-            error = ServiceError(f"request body is not valid JSON: {exc}")
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+        except Exception as exc:  # don't let one request kill the server
+            error = ServiceError(f"internal error: {exc}", status=500)
             self._respond(error.status, error.to_dict())
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        segments, query = self._route()
+        try:
+            raw = self._drain_body()  # always, before any response
+            if not segments:
+                raise ServiceError(
+                    f"not found; endpoints live under {API_PREFIX}", 404
+                )
+            if segments[0] == "jobs":
+                if len(segments) == 3 and segments[2] == "cancel":
+                    self._parse_json(raw)  # validate any body
+                    self._respond(200, self.service.job_cancel(segments[1]))
+                    return
+                raise ServiceError(
+                    "unknown job action; try POST /v1/jobs/{id}/cancel", 404
+                )
+            if len(segments) != 1:
+                raise ServiceError(
+                    f"not found; endpoints live under {API_PREFIX}", 404
+                )
+            endpoint = segments[0]
+            mode = query.get("mode")
+            if endpoint == "derive" and mode is not None:
+                if mode != "async":
+                    raise ServiceError(
+                        f"unknown mode {mode!r}; the only mode is 'async'"
+                    )
+                endpoint = "derive_async"
+            payload = self._parse_json(raw)
+            self._respond(200, self.service.handle_json(endpoint, payload))
+        except ServiceError as exc:
+            self._respond(exc.status, exc.to_dict())
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
         except Exception as exc:  # don't let one request kill the server
             error = ServiceError(f"internal error: {exc}", status=500)
             self._respond(error.status, error.to_dict())
@@ -136,3 +277,4 @@ def serve(
         pass
     finally:
         server.server_close()
+        service.jobs.close(wait=False)

@@ -16,9 +16,12 @@ serializable AST of :mod:`repro.api.query`; configs as
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
+from ..jobs import Job, JobManager, UnknownJobError
+from ..jobs.progress import ProgressSnapshot
 from ..relational.relation import Relation
 from ..relational.schema import Attribute, Schema
 from ..relational.tuples import RelTuple
@@ -31,6 +34,7 @@ __all__ = [
     "LearnResponse",
     "DeriveRequest",
     "DeriveResponse",
+    "AsyncDeriveResponse",
     "InferRequest",
     "InferResponse",
     "QueryRequest",
@@ -211,6 +215,24 @@ class DeriveResponse:
         }
 
 
+@dataclass(frozen=True)
+class AsyncDeriveResponse:
+    """Acknowledgement of an async derive: poll ``/v1/jobs/{job_id}``."""
+
+    job_id: str
+    state: str
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AsyncDeriveResponse":
+        return cls(
+            job_id=_require(payload, "job_id"),
+            state=_require(payload, "state"),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"job_id": self.job_id, "state": self.state}
+
+
 # -- infer ----------------------------------------------------------------
 
 
@@ -292,26 +314,42 @@ class QueryResponse:
 
 
 class InferenceService:
-    """JSON-facing dispatch over one :class:`Session`."""
+    """JSON-facing dispatch over one :class:`Session`.
 
-    def __init__(self, session: Session | None = None):
+    ``jobs`` is the async runtime behind ``derive_async`` and the
+    ``job_*`` endpoints.  The default manager runs one background worker,
+    so async derivations queue FIFO; a service-level lock additionally
+    serializes every endpoint that touches the session's warm engines or
+    model registry — ``derive`` (async or blocking, on any thread),
+    ``infer``, and ``learn`` — because the engines' LRU caches are not
+    thread-safe.  ``query`` and the job endpoints read immutable state and
+    stay lock-free.
+    """
+
+    def __init__(
+        self, session: Session | None = None, jobs: JobManager | None = None
+    ):
         self.session = session if session is not None else Session()
+        self.jobs = jobs if jobs is not None else JobManager(prefix="derive")
+        self._session_lock = threading.Lock()
 
     # -- typed endpoints ---------------------------------------------------
 
     def learn(self, request: LearnRequest) -> LearnResponse:
         schema = _schema_from_mapping(request.schema)
         relation = Relation.from_rows(schema, request.rows)
-        model = self.session.learn(
-            relation, model=request.model, config=request.config
-        )
+        with self._session_lock:
+            model = self.session.learn(
+                relation, model=request.model, config=request.config
+            )
         return LearnResponse(
             model=request.model,
             attributes=tuple(attr.name for attr in model.schema),
             meta_rules=model.size(),
         )
 
-    def derive(self, request: DeriveRequest) -> DeriveResponse:
+    def _derive_schema(self, request: DeriveRequest) -> tuple[str, Schema]:
+        """Resolve the model name and schema a derive request runs under."""
         model_name = request.model if request.model is not None else request.name
         if request.schema is not None:
             schema = _schema_from_mapping(request.schema)
@@ -322,15 +360,27 @@ class InferenceService:
                 "derive request needs a 'schema' unless 'model' names a "
                 "registered model"
             )
+        return model_name, schema
+
+    def derive(
+        self,
+        request: DeriveRequest,
+        progress: Callable[[ProgressSnapshot], None] | Any = None,
+        cancel: Callable[[], bool] | None = None,
+    ) -> DeriveResponse:
+        model_name, schema = self._derive_schema(request)
         relation = Relation.from_rows(schema, request.rows)
-        result = self.session.derive(
-            relation,
-            name=request.name,
-            model=model_name,
-            config=request.config,
-            executor=request.executor,
-            workers=request.workers,
-        )
+        with self._session_lock:
+            result = self.session.derive(
+                relation,
+                name=request.name,
+                model=model_name,
+                config=request.config,
+                executor=request.executor,
+                workers=request.workers,
+                progress=progress,
+                cancel=cancel,
+            )
         db = result.database
         blocks: tuple[dict[str, Any], ...] = ()
         if request.include_blocks:
@@ -353,10 +403,89 @@ class InferenceService:
             blocks=blocks,
         )
 
+    # -- async jobs --------------------------------------------------------
+
+    def derive_async(self, request: DeriveRequest) -> AsyncDeriveResponse:
+        """Submit a derive as a background job; returns immediately.
+
+        Obviously-bad requests (no schema and no registered model) fail
+        fast with a 400 instead of a failed job.  The job's eventual result
+        is the exact :class:`DeriveResponse` payload the blocking endpoint
+        would have produced for the same request — bit-identical when the
+        config pins a seed.
+        """
+        self._derive_schema(request)  # fail fast before queueing
+        # Size the progress tracker with the same parallelism the
+        # derivation will resolve to (explicit field > config > session;
+        # serial always runs 1 regardless of `workers`).
+        workers = self.session.effective_config(
+            request.config, executor=request.executor, workers=request.workers
+        ).parallelism
+
+        def work(job: Job) -> dict[str, Any]:
+            return self.derive(
+                request, progress=job.tracker, cancel=job.should_stop
+            ).to_dict()
+
+        job = self.jobs.submit(work, label="derive", workers=workers)
+        return AsyncDeriveResponse(job_id=job.id, state=job.state)
+
+    def _job(self, job_id: str) -> Job:
+        try:
+            return self.jobs.get(job_id)
+        except UnknownJobError as exc:
+            raise ServiceError(str(exc), status=404) from exc
+
+    def job_status(self, job_id: str) -> dict[str, Any]:
+        """``GET /v1/jobs/{id}``: lifecycle state plus shard-aware progress."""
+        return self._job(job_id).status_dict()
+
+    def job_result(self, job_id: str) -> dict[str, Any]:
+        """``GET /v1/jobs/{id}/result``: the finished job's DeriveResponse.
+
+        409 while the job is queued/running or after cancellation (a
+        cancelled job never has a result, partial or otherwise); 500 when
+        the job failed.
+        """
+        job = self._job(job_id)
+        state = job.state
+        if state == "done":
+            return job.result()
+        if state == "failed":
+            raise ServiceError(
+                f"job {job_id} failed: {job.error}", status=500
+            )
+        raise ServiceError(
+            f"job {job_id} has no result (state: {state!r})", status=409
+        )
+
+    def job_cancel(self, job_id: str) -> dict[str, Any]:
+        """``POST /v1/jobs/{id}/cancel``: request cooperative cancellation."""
+        job = self._job(job_id)
+        accepted = job.cancel()
+        return {
+            "job_id": job.id,
+            "state": job.state,
+            "cancel_requested": job.cancel_requested,
+            "accepted": accepted,
+        }
+
+    def job_events(
+        self, job_id: str, after: int = 0, timeout: float | None = None
+    ) -> Iterator[dict[str, Any]]:
+        """``GET /v1/jobs/{id}/events``: blocking shard-completion stream.
+
+        Yields every recorded event with ``seq > after`` and then new ones
+        as they land, ending after the terminal event (or when ``timeout``
+        expires with no news).
+        """
+        return self._job(job_id).iter_events(after=after, timeout=timeout)
+
     def infer(self, request: InferRequest) -> InferResponse:
         schema = self.session.model(request.model).schema
         tuples = [RelTuple.from_values(schema, row) for row in request.rows]
-        dists = self.session.infer_batch(tuples, model=request.model)
+        with self._session_lock:
+            dists = self.session.infer_batch(tuples, model=request.model)
         cpds = tuple(
             {
                 "attribute": schema[t.missing_positions[0]].name,
@@ -384,6 +513,7 @@ class InferenceService:
             "status": "ok",
             "models": list(self.session.models),
             "databases": list(self.session.databases),
+            "jobs": list(self.jobs.jobs),
             "config": self.session.config.to_dict(),
         }
 
@@ -393,6 +523,7 @@ class InferenceService:
     ENDPOINTS = {
         "learn": (LearnRequest, "learn"),
         "derive": (DeriveRequest, "derive"),
+        "derive_async": (DeriveRequest, "derive_async"),
         "infer": (InferRequest, "infer"),
         "query": (QueryRequest, "query"),
     }

@@ -20,7 +20,7 @@ learning step and the on-line serving step can live in different processes.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from ..core.learning import learn_mrsl
 from ..core.mrsl import MRSLModel
 from ..core.persistence import load_model as _load_model
 from ..core.persistence import save_model as _save_model
+from ..jobs.progress import ProgressSnapshot, ProgressTracker
 from ..probdb.database import ProbabilisticDatabase
 from ..probdb.distribution import Distribution
 from ..probdb.engine import QueryEngine, ResultTuple
@@ -72,6 +73,24 @@ class Session:
         if isinstance(config, DeriveConfig):
             return config
         return resolve_config(self.config, **dict(config))
+
+    def effective_config(
+        self,
+        config: DeriveConfig | Mapping[str, Any] | None = None,
+        executor: str | None = None,
+        workers: int | None = None,
+    ) -> DeriveConfig:
+        """The config a derive call with these arguments actually runs under.
+
+        Resolution order: explicit ``executor``/``workers`` beat ``config``
+        entries, which beat the session's config.  :meth:`derive` uses this
+        internally; the service layer uses it to size progress estimates
+        with the same worker count the derivation will use.
+        """
+        cfg = self._per_call_config(config)
+        if executor is not None or workers is not None:
+            cfg = resolve_config(cfg, executor=executor, workers=workers)
+        return cfg
 
     # -- model registry ----------------------------------------------------
 
@@ -150,6 +169,10 @@ class Session:
         rng: np.random.Generator | int | None = None,
         executor: str | None = None,
         workers: int | None = None,
+        progress: (
+            ProgressTracker | Callable[[ProgressSnapshot], None] | None
+        ) = None,
+        cancel: Callable[[], bool] | None = None,
     ) -> DeriveResult:
         """Derive ``relation``'s probabilistic database and register it.
 
@@ -162,10 +185,19 @@ class Session:
         this call (e.g. ``executor="process", workers=4`` to fan the
         derivation out across worker processes); results are bit-identical
         whichever runtime serves them.
+
+        ``progress`` observes the derivation as it runs: pass a
+        :class:`~repro.jobs.progress.ProgressTracker` to drive yourself, or
+        a plain callable to receive a
+        :class:`~repro.jobs.progress.ProgressSnapshot` after planning and
+        after every completed shard.  ``cancel`` is polled at shard
+        boundaries; returning true raises
+        :class:`~repro.exec.base.DerivationCancelled` and the session
+        registers nothing — a cancelled derive never leaves a partial
+        database behind.
         """
-        cfg = self._per_call_config(config)
-        if executor is not None or workers is not None:
-            cfg = resolve_config(cfg, executor=executor, workers=workers)
+        cfg = self.effective_config(config, executor=executor, workers=workers)
+        tracker = self._as_tracker(progress, cfg.parallelism)
         model_name = name if model is None else model
         if model_name not in self._models:
             self.learn(relation, model=model_name, config=cfg)
@@ -175,9 +207,33 @@ class Session:
             rng=rng,
             model=self._models[model_name],
             batch_engine=self.engine(model_name),
+            on_plan=None if tracker is None else tracker.on_plan,
+            on_shard=None if tracker is None else tracker.on_shard,
+            should_stop=cancel,
         )
         self._results[name] = result
         return result
+
+    @staticmethod
+    def _as_tracker(
+        progress: (
+            ProgressTracker | Callable[[ProgressSnapshot], None] | None
+        ),
+        workers: int,
+    ) -> ProgressTracker | None:
+        """Normalize a ``progress=`` argument into a tracker (or None)."""
+        if progress is None or isinstance(progress, ProgressTracker):
+            return progress
+        if not callable(progress):
+            raise TypeError(
+                "progress must be a ProgressTracker or a callable taking a "
+                f"ProgressSnapshot, got {type(progress).__name__}"
+            )
+        callback = progress
+        return ProgressTracker(
+            workers=workers,
+            on_event=lambda kind, snapshot, *rest: callback(snapshot),
+        )
 
     def infer_batch(
         self,

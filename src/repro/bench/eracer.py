@@ -30,7 +30,7 @@ import numpy as np
 
 from ..probdb.distribution import Distribution
 from ..relational.relation import Relation
-from ..relational.tuples import MISSING_CODE, RelTuple
+from ..relational.tuples import RelTuple
 
 __all__ = ["NaiveBayesImputer"]
 

@@ -21,7 +21,7 @@ scales them through ``REPRO_BENCH_SCALE`` (see EXPERIMENTS.md).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -31,7 +31,6 @@ from ..bayesnet.network import BayesianNetwork
 from ..bayesnet.sampler import forward_sample_relation
 from ..core.inference import VoterChoice, VotingScheme, infer_single
 from ..core.learning import learn_mrsl
-from ..core.mrsl import MRSLModel
 from ..core.tuple_dag import SamplingStats, workload_sampling
 from ..relational.relation import Relation
 from .masking import mask_relation

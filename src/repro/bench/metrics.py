@@ -16,8 +16,7 @@ from typing import Sequence
 from ..bayesnet.elimination import joint_posterior, posterior
 from ..bayesnet.network import BayesianNetwork
 from ..probdb.distribution import Distribution
-from ..relational.schema import Schema
-from ..relational.tuples import MISSING_CODE, RelTuple
+from ..relational.tuples import RelTuple
 
 __all__ = [
     "AccuracyScore",

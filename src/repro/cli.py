@@ -116,6 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None,
         help="output CSV (default: stdout)",
     )
+    derive.add_argument(
+        "--progress", action="store_true",
+        help="render a shard-progress bar on stderr while deriving "
+        "(shards done, tuples completed, elapsed, ETA)",
+    )
 
     inspect = sub.add_parser("inspect", help="print a learned semi-lattice")
     common(inspect)
@@ -166,9 +171,48 @@ def config_from_args(args: argparse.Namespace) -> DeriveConfig:
     )
 
 
+class _ProgressBar:
+    """Single-line stderr progress bar fed by a ProgressTracker's events."""
+
+    WIDTH = 28
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+        self._drawn = False
+
+    def __call__(self, kind, snapshot, *rest) -> None:
+        filled = int(self.WIDTH * snapshot.fraction_done)
+        bar = "#" * filled + "-" * (self.WIDTH - filled)
+        self.stream.write(f"\r[{bar}] {snapshot.describe()}")
+        self.stream.flush()
+        self._drawn = True
+
+    def finish(self) -> None:
+        if self._drawn:
+            self.stream.write("\n")
+            self.stream.flush()
+
+
 def _cmd_derive(args: argparse.Namespace) -> int:
     relation = read_csv(args.input)
-    result = derive_probabilistic_database(relation, config=config_from_args(args))
+    config = config_from_args(args)
+    tracker = None
+    bar = None
+    if args.progress:
+        from .jobs.progress import ProgressTracker
+
+        bar = _ProgressBar()
+        tracker = ProgressTracker(workers=config.parallelism, on_event=bar)
+    try:
+        result = derive_probabilistic_database(
+            relation,
+            config=config,
+            on_plan=None if tracker is None else tracker.on_plan,
+            on_shard=None if tracker is None else tracker.on_shard,
+        )
+    finally:
+        if bar is not None:
+            bar.finish()
     db = result.database
     out = args.output.open("w", newline="") if args.output else sys.stdout
     try:

@@ -18,10 +18,11 @@ bit-identical for every executor and worker count.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
-from ..exec.base import ExecReport
+from ..exec.base import ExecReport, ShardPlan, ShardResult
 from ..exec.executors import Executor
 from ..exec.runtime import execute_derivation
 from ..probdb.blocks import TupleBlock
@@ -138,6 +139,9 @@ def derive_probabilistic_database(
     batch_engine: BatchInferenceEngine | None = None,
     executor: Executor | str | None = None,
     workers: int | None = None,
+    on_plan: Callable[[ShardPlan], None] | None = None,
+    on_shard: Callable[[ShardResult], None] | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> DeriveResult:
     """Derive the disjoint-independent probabilistic model for ``relation``.
 
@@ -179,6 +183,13 @@ def derive_probabilistic_database(
         and the pool size.  ``executor`` also accepts a pre-built
         :class:`~repro.exec.executors.Executor` instance.  Results are
         bit-identical whichever runtime executes the shards.
+    on_plan, on_shard, should_stop:
+        Progress and cancellation hooks, forwarded to
+        :func:`~repro.exec.runtime.execute_derivation`: ``on_plan`` sees the
+        shard plan before execution, ``on_shard`` every completed shard, and
+        ``should_stop`` is polled at shard boundaries — returning true
+        raises :class:`~repro.exec.base.DerivationCancelled` and no partial
+        database is built.
 
     Returns a :class:`DeriveResult`; its ``database`` holds the complete
     tuples as certain rows and one block per incomplete tuple.
@@ -225,6 +236,9 @@ def derive_probabilistic_database(
         rng=rng,
         batch_engine=batch_engine,
         executor=executor if isinstance(executor, Executor) else None,
+        on_plan=on_plan,
+        on_shard=on_shard,
+        should_stop=should_stop,
     )
 
     database = ProbabilisticDatabase(

@@ -17,7 +17,6 @@ from typing import Sequence
 import numpy as np
 
 from ..probdb.distribution import DEFAULT_SMOOTHING_FLOOR, Distribution
-from ..relational.schema import Schema
 from ..relational.tuples import MISSING_CODE, RelTuple
 from .metarule import MetaRule
 from .mrsl import MRSL, MRSLModel

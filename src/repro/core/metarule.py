@@ -19,7 +19,7 @@ import numpy as np
 
 from ..probdb.distribution import DEFAULT_SMOOTHING_FLOOR, Distribution
 from ..relational.schema import Schema
-from ..relational.tuples import MISSING_CODE, RelTuple
+from ..relational.tuples import RelTuple
 from .itemsets import Itemset
 from .rules import AssociationRule
 

@@ -24,6 +24,7 @@ from .base import (
     DEFAULT_EXECUTOR,
     DEFAULT_WORKERS,
     EXECUTORS,
+    DerivationCancelled,
     ExecReport,
     Shard,
     ShardPlan,
@@ -50,6 +51,7 @@ __all__ = [
     "DEFAULT_WORKERS",
     "validate_executor",
     "validate_workers",
+    "DerivationCancelled",
     "Shard",
     "ShardPlan",
     "ShardResult",

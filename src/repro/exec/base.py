@@ -31,6 +31,7 @@ __all__ = [
     "DEFAULT_WORKERS",
     "validate_executor",
     "validate_workers",
+    "DerivationCancelled",
     "Shard",
     "ShardPlan",
     "ShardResult",
@@ -63,6 +64,21 @@ def validate_workers(workers: int) -> int:
     if workers < 1:
         raise ValueError(f"workers must be positive, got {workers}")
     return workers
+
+
+class DerivationCancelled(RuntimeError):
+    """A derivation stopped cooperatively at a shard boundary.
+
+    Raised by the collector when its ``should_stop`` hook fires between
+    shards.  ``report`` carries the partial :class:`ExecReport` — the shards
+    that did complete, with their timings — so callers (the job manager, a
+    progress bar) can show how far the run got.  No partially-assembled
+    database ever escapes: the exception propagates before block assembly.
+    """
+
+    def __init__(self, message: str, report: "ExecReport | None" = None):
+        super().__init__(message)
+        self.report = report
 
 
 @dataclass(frozen=True)
@@ -136,6 +152,16 @@ class ShardResult:
     def __len__(self) -> int:
         return len(self.indices)
 
+    def summary_dict(self) -> dict:
+        """Timing/placement summary for wire payloads (blocks excluded)."""
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "tuples": len(self),
+            "elapsed": self.elapsed,
+            "worker": self.worker,
+        }
+
 
 @dataclass(frozen=True)
 class ShardTiming:
@@ -147,6 +173,17 @@ class ShardTiming:
     groups: int
     elapsed: float
     worker: str
+
+    def to_dict(self) -> dict:
+        """Plain JSON-able mapping (the wire form of job shard events)."""
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "tuples": self.tuples,
+            "groups": self.groups,
+            "elapsed": self.elapsed,
+            "worker": self.worker,
+        }
 
 
 @dataclass
@@ -175,6 +212,17 @@ class ExecReport:
     def slowest(self, k: int = 5) -> list[ShardTiming]:
         """The ``k`` slowest shards, slowest first (for progress reporting)."""
         return sorted(self.timings, key=lambda t: -t.elapsed)[:k]
+
+    def to_dict(self) -> dict:
+        """Plain JSON-able mapping (the wire form of job progress reports)."""
+        return {
+            "executor": self.executor,
+            "workers": self.workers,
+            "num_shards": self.num_shards,
+            "num_tuples": self.num_tuples,
+            "elapsed": self.elapsed,
+            "timings": [t.to_dict() for t in self.timings],
+        }
 
     def summary(self) -> str:
         busy = sum(t.elapsed for t in self.timings)

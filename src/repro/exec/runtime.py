@@ -12,13 +12,13 @@ per-shard timing diagnostics.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 import numpy as np
 
 from ..core.tuple_dag import SamplingStats
-from .base import ExecReport, ShardPlan, ShardResult
+from .base import DerivationCancelled, ExecReport, ShardPlan, ShardResult
 from .executors import ExecContext, Executor, get_executor
 from .plan import plan_shards
 from .work import ShardKnobs
@@ -113,11 +113,20 @@ def execute_derivation(
     batch_engine: "BatchInferenceEngine | None" = None,
     executor: "Executor | str | None" = None,
     on_shard: Callable[[ShardResult], None] | None = None,
+    on_plan: Callable[[ShardPlan], None] | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> ExecOutcome:
     """Derive blocks for ``tuples``, collecting the stream in input order.
 
-    ``on_shard`` is invoked with every :class:`ShardResult` as it lands —
-    the progress hook for long derivations.
+    ``on_plan`` is invoked once with the :class:`ShardPlan` before any shard
+    runs, and ``on_shard`` with every :class:`ShardResult` as it lands — the
+    progress hooks for long derivations.  ``should_stop`` is polled at shard
+    boundaries (before the first shard and after each completed one); when
+    it returns true the collector closes the stream — cancelling shards not
+    yet started — and raises :class:`~repro.exec.base.DerivationCancelled`
+    carrying the partial report.  Shards already running on pool workers
+    finish, but their results are discarded; no blocks escape a cancelled
+    run.
     """
     chosen = get_executor(
         config.executor if executor is None else executor, config.workers
@@ -128,6 +137,8 @@ def execute_derivation(
         batch_engine=batch_engine,
     )
     plan = _plan(tuples, model, config, rng, chosen, context)
+    if on_plan is not None:
+        on_plan(plan)
     groups_by_key = {shard.key: shard.groups for shard in plan.shards}
     blocks: "list[TupleBlock | None]" = [None] * len(tuples)
     stats = SamplingStats()
@@ -138,14 +149,33 @@ def execute_derivation(
         num_tuples=len(tuples),
     )
     start = time.perf_counter()
-    for result in chosen.run(plan, context):
-        for idx, block in zip(result.indices, result.blocks):
-            blocks[idx] = block
-        if result.stats is not None:
-            _merge_stats(stats, result.stats)
-        report.add(result, groups_by_key.get(result.key, 1))
-        if on_shard is not None:
-            on_shard(result)
+
+    def _cancelled_at(done: int) -> DerivationCancelled:
+        report.elapsed = time.perf_counter() - start
+        return DerivationCancelled(
+            f"derivation cancelled after {done} of {len(plan)} shards",
+            report=report,
+        )
+
+    if should_stop is not None and should_stop():
+        raise _cancelled_at(0)
+    stream = chosen.run(plan, context)
+    try:
+        for result in stream:
+            for idx, block in zip(result.indices, result.blocks):
+                blocks[idx] = block
+            if result.stats is not None:
+                _merge_stats(stats, result.stats)
+            report.add(result, groups_by_key.get(result.key, 1))
+            if on_shard is not None:
+                on_shard(result)
+            if should_stop is not None and should_stop():
+                raise _cancelled_at(len(report.timings))
+    finally:
+        # Closing the stream cancels futures the pools have not started.
+        close = getattr(stream, "close", None)
+        if close is not None:
+            close()
     report.elapsed = time.perf_counter() - start
     missing = [i for i, b in enumerate(blocks) if b is None]
     if missing:  # pragma: no cover - executors yield every planned shard

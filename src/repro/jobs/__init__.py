@@ -1,0 +1,30 @@
+"""Async job runtime for long-running derivations.
+
+``repro.jobs`` turns a blocking derivation into an observable, cancellable
+background job:
+
+* :class:`~repro.jobs.progress.ProgressTracker` consumes the derivation
+  runtime's plan/shard hooks and produces
+  :class:`~repro.jobs.progress.ProgressSnapshot` readings — shards planned
+  / running / done, tuples completed, elapsed, throughput, ETA.
+* :class:`~repro.jobs.manager.JobManager` runs submitted work on background
+  worker threads, assigns job ids, records per-shard events, and supports
+  cooperative cancellation checked at shard boundaries.
+
+The service layer (:mod:`repro.api.service`) exposes the manager as
+``POST /v1/derive?mode=async`` plus the ``/v1/jobs/...`` endpoints;
+``Session.derive(progress=...)`` and ``repro derive --progress`` consume
+the same tracker in-process.  See ``docs/jobs.md``.
+"""
+
+from .manager import JOB_STATES, Job, JobManager, UnknownJobError
+from .progress import ProgressSnapshot, ProgressTracker
+
+__all__ = [
+    "JOB_STATES",
+    "Job",
+    "JobManager",
+    "UnknownJobError",
+    "ProgressSnapshot",
+    "ProgressTracker",
+]

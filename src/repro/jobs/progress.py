@@ -1,0 +1,201 @@
+"""Shard-aware progress tracking for long-running derivations.
+
+A :class:`ProgressTracker` plugs straight into the derivation runtime's
+hooks — :meth:`ProgressTracker.on_plan` sees the
+:class:`~repro.exec.base.ShardPlan` before execution, and
+:meth:`ProgressTracker.on_shard` every completed
+:class:`~repro.exec.base.ShardResult` — and turns the stream into
+:class:`ProgressSnapshot` objects: shards planned / running / done, tuples
+completed, elapsed wall-clock, throughput, and an ETA extrapolated from the
+per-shard timings observed so far.
+
+The tracker is thread-safe (hooks fire on executor collector threads, and
+snapshots are read by HTTP handler threads) and transport-agnostic: the job
+manager, ``Session.derive(progress=...)``, and the CLI progress bar all
+consume the same snapshots.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.base import ShardPlan, ShardResult
+
+__all__ = ["ProgressSnapshot", "ProgressTracker"]
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """One immutable reading of a derivation's progress.
+
+    ``shards_running`` is an upper-bound estimate — completed work is exact
+    (shards stream back only when finished), but the runtime does not report
+    shard starts, so "running" is capped by the executor's worker count.
+    ``eta_seconds`` is ``None`` until at least one shard has finished.
+    """
+
+    planned: bool = False
+    shards_total: int = 0
+    shards_done: int = 0
+    shards_running: int = 0
+    tuples_total: int = 0
+    tuples_done: int = 0
+    elapsed: float = 0.0
+    #: completed tuples per second of wall-clock (0.0 before the first shard)
+    tuples_per_second: float = 0.0
+    eta_seconds: float | None = None
+
+    @property
+    def shards_pending(self) -> int:
+        return max(0, self.shards_total - self.shards_done - self.shards_running)
+
+    @property
+    def fraction_done(self) -> float:
+        """Completed fraction in [0, 1], by tuples (1.0 for empty workloads)."""
+        if self.tuples_total <= 0:
+            return 1.0 if self.planned else 0.0
+        return self.tuples_done / self.tuples_total
+
+    @property
+    def finished(self) -> bool:
+        return self.planned and self.shards_done >= self.shards_total
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain JSON-able mapping (the wire form of job progress)."""
+        return {
+            "planned": self.planned,
+            "shards_total": self.shards_total,
+            "shards_done": self.shards_done,
+            "shards_running": self.shards_running,
+            "shards_pending": self.shards_pending,
+            "tuples_total": self.tuples_total,
+            "tuples_done": self.tuples_done,
+            "fraction_done": self.fraction_done,
+            "elapsed": self.elapsed,
+            "tuples_per_second": self.tuples_per_second,
+            "eta_seconds": self.eta_seconds,
+        }
+
+    def describe(self) -> str:
+        """One-line human rendering (the CLI progress bar's text)."""
+        if not self.planned:
+            return "planning shards..."
+        eta = "" if self.eta_seconds is None else f", eta {self.eta_seconds:.1f}s"
+        return (
+            f"{self.shards_done}/{self.shards_total} shards, "
+            f"{self.tuples_done}/{self.tuples_total} tuples, "
+            f"{self.elapsed:.1f}s elapsed{eta}"
+        )
+
+
+class ProgressTracker:
+    """Accumulates plan + shard-result events into progress snapshots.
+
+    ``on_event`` (when given) is called with ``("plan", snapshot)`` once and
+    ``("shard", snapshot, result)`` per completed shard, after the tracker's
+    own state has been updated — the fan-out point for job event streams and
+    progress bars.  The tracker never raises through its hooks' caller, so
+    a broken observer cannot corrupt a derivation.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        on_event: Callable[..., None] | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._workers = max(1, int(workers))
+        self._on_event = on_event
+        self._planned = False
+        self._started_at: float | None = None
+        self._shards_total = 0
+        self._shards_done = 0
+        self._tuples_total = 0
+        self._tuples_done = 0
+        #: summed (tuples, shard seconds) of completed shards, the ETA evidence
+        self._tuples_timed = 0
+        self._busy_seconds = 0.0
+
+    # -- runtime hooks -----------------------------------------------------
+
+    def on_plan(self, plan: "ShardPlan") -> None:
+        """Record the plan: totals become known, the clock (re)starts.
+
+        Also zeroes the completion accumulators, so one tracker can be
+        reused across consecutive derivations.
+        """
+        with self._lock:
+            self._planned = True
+            self._started_at = self._clock()
+            self._shards_total = len(plan)
+            self._tuples_total = plan.num_tuples
+            self._shards_done = 0
+            self._tuples_done = 0
+            self._tuples_timed = 0
+            self._busy_seconds = 0.0
+        self._emit("plan")
+
+    def on_shard(self, result: "ShardResult") -> None:
+        """Record one completed shard."""
+        with self._lock:
+            self._shards_done += 1
+            self._tuples_done += len(result)
+            self._tuples_timed += len(result)
+            self._busy_seconds += result.elapsed
+        self._emit("shard", result)
+
+    # -- readings ----------------------------------------------------------
+
+    def snapshot(self) -> ProgressSnapshot:
+        """The current progress reading (thread-safe, lock-free to hold)."""
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> ProgressSnapshot:
+        elapsed = (
+            0.0 if self._started_at is None else self._clock() - self._started_at
+        )
+        remaining_shards = self._shards_total - self._shards_done
+        running = min(self._workers, remaining_shards)
+        rate = self._tuples_done / elapsed if elapsed > 0 else 0.0
+        eta = None
+        if remaining_shards == 0 and self._planned:
+            eta = 0.0
+        elif self._shards_done:
+            # Extrapolate from observed per-tuple shard cost, spread over
+            # the workers that will serve the remaining shards.
+            per_tuple = self._busy_seconds / max(1, self._tuples_timed)
+            remaining_tuples = self._tuples_total - self._tuples_done
+            eta = per_tuple * remaining_tuples / self._workers
+        return ProgressSnapshot(
+            planned=self._planned,
+            shards_total=self._shards_total,
+            shards_done=self._shards_done,
+            shards_running=running,
+            tuples_total=self._tuples_total,
+            tuples_done=self._tuples_done,
+            elapsed=elapsed,
+            tuples_per_second=rate,
+            eta_seconds=eta,
+        )
+
+    def _emit(self, kind: str, result: "ShardResult | None" = None) -> None:
+        if self._on_event is None:
+            return
+        snap = self.snapshot()
+        try:
+            if kind == "plan":
+                self._on_event("plan", snap)
+            else:
+                self._on_event("shard", snap, result)
+        except Exception:  # a broken observer must not kill the derivation
+            pass
+
+    def __repr__(self) -> str:
+        return f"ProgressTracker({self.snapshot().describe()})"

@@ -175,15 +175,15 @@ class QueryEngine:
             key = tuple(r.value(rn) for _, rn in on)
             index.setdefault(key, []).append(r)
         out = []
-        for l in left:
-            key = tuple(l.value(ln) for ln, _ in on)
+        for lt in left:
+            key = tuple(lt.value(ln) for ln, _ in on)
             for r in index.get(key, ()):  # hash join
-                event = conjunction([l.event, r.event])
+                event = conjunction([lt.event, r.event])
                 if event is not FALSE:
                     out.append(
                         ProbRow(
-                            l.attributes + r.attributes,
-                            l.values + r.values,
+                            lt.attributes + r.attributes,
+                            lt.values + r.values,
                             event,
                         )
                     )

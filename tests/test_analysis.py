@@ -1,6 +1,5 @@
 """Unit tests for probabilistic-DB analysis utilities."""
 
-import numpy as np
 import pytest
 
 from repro.probdb import (

@@ -15,7 +15,6 @@ from repro.api.query import (
     Cmp,
     In,
     Not,
-    Or,
     Q,
     SelectionQuery,
     SelfJoinQuery,

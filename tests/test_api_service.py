@@ -288,7 +288,10 @@ class TestHttp:
             t.probability for t in expected  # bit-identical through JSON
         ]
 
-    def test_malformed_json_is_400(self, http_server):
+    def test_malformed_json_is_structured_400(self, http_server):
+        """Malformed bodies get a structured {"error": ...} 400, never a
+        traceback-driven 500 (regression: the old handler only special-cased
+        JSONDecodeError, so other body malformations fell through to 500)."""
         _, port = http_server
         request = urllib.request.Request(
             f"http://127.0.0.1:{port}/v1/query",
@@ -298,3 +301,28 @@ class TestHttp:
         with pytest.raises(urllib.error.HTTPError) as err:
             urllib.request.urlopen(request, timeout=30)
         assert err.value.code == 400
+        error = json.loads(err.value.read())["error"]
+        assert error["status"] == 400
+        assert "not valid JSON" in error["message"]
+
+    def test_non_utf8_body_is_structured_400(self, http_server):
+        _, port = http_server
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/v1/query",
+            data=b"\xff\xfe\xfa",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30)
+        assert err.value.code == 400
+        error = json.loads(err.value.read())["error"]
+        assert "not valid UTF-8" in error["message"]
+
+    def test_unknown_job_is_404(self, http_server):
+        _, port = http_server
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/v1/jobs/no-such-job", timeout=30
+            )
+        assert err.value.code == 404
+        assert "error" in json.loads(err.value.read())

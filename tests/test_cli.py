@@ -78,6 +78,31 @@ class TestDerive:
         for total in blocks.values():
             assert total == pytest.approx(1.0, abs=1e-3)
 
+    def test_derive_progress_bar(self, csv_path, tmp_path, capsys):
+        out = tmp_path / "out.csv"
+        code = main(
+            ["derive", str(csv_path), "--support", "0.1",
+             "--samples", "100", "--burn-in", "10", "--seed", "0",
+             "--progress", "--output", str(out)]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        # The bar redraws in place and reports shard/tuple progress.
+        assert "shards" in err and "tuples" in err and "\r" in err
+        # The final redraw shows a complete run.
+        last = err.rsplit("\r", 1)[-1]
+        first_line = last.splitlines()[0]
+        assert "4/4 shards" in first_line and "9/9 tuples" in first_line
+
+    def test_derive_progress_output_identical_to_plain(self, csv_path, tmp_path):
+        """--progress is pure observation: the derived CSV is byte-identical."""
+        plain, bar = tmp_path / "plain.csv", tmp_path / "bar.csv"
+        common = ["derive", str(csv_path), "--support", "0.1",
+                  "--samples", "100", "--burn-in", "10", "--seed", "0"]
+        assert main(common + ["--output", str(plain)]) == 0
+        assert main(common + ["--progress", "--output", str(bar)]) == 0
+        assert plain.read_bytes() == bar.read_bytes()
+
     def test_derive_to_stdout(self, csv_path, capsys):
         code = main(
             ["derive", str(csv_path), "--support", "0.1",

@@ -1,6 +1,5 @@
 """Unit tests for ProbabilisticDatabase and possible-world semantics."""
 
-import numpy as np
 import pytest
 
 from repro.probdb import Distribution, ProbabilisticDatabase, TupleBlock

@@ -4,7 +4,6 @@ import pytest
 
 from repro.relational import (
     MISSING,
-    Relation,
     Schema,
     SchemaError,
     infer_schema,

@@ -6,7 +6,6 @@ import pytest
 from repro.core import mine_frequent_itemsets
 from repro.core.metarule import MetaRule, build_meta_rules, smooth_cpd
 from repro.core.rules import compute_association_rules
-from repro.probdb.distribution import DEFAULT_SMOOTHING_FLOOR
 from repro.relational import make_tuple
 
 

@@ -14,7 +14,7 @@ from repro.probdb import (
     expected_count,
     possible_worlds_expected_count,
 )
-from repro.relational import Relation, RelTuple, Schema
+from repro.relational import RelTuple, Schema
 from repro.relational.tuples import MISSING_CODE, proper_subsumes
 
 # -- strategies ------------------------------------------------------------------

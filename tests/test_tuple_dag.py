@@ -1,6 +1,5 @@
 """Unit tests for the tuple DAG and workload-driven sampling (Algorithm 3)."""
 
-import numpy as np
 import pytest
 
 from repro.bayesnet import forward_sample_relation, make_network
