@@ -31,6 +31,7 @@ from .bayesnet import (
 )
 from .core import (
     DeriveResult,
+    GibbsEnsemble,
     GibbsSampler,
     LazyDeriver,
     LearnResult,
@@ -40,6 +41,7 @@ from .core import (
     VoterChoice,
     VotingScheme,
     derive_probabilistic_database,
+    ensemble_sampling,
     estimate_joint,
     infer_single,
     learn_mrsl,
@@ -122,8 +124,10 @@ __all__ = [
     "VotingScheme",
     "infer_single",
     "GibbsSampler",
+    "GibbsEnsemble",
     "estimate_joint",
     "workload_sampling",
+    "ensemble_sampling",
     "derive_probabilistic_database",
     "DeriveResult",
     "LazyDeriver",

@@ -45,6 +45,16 @@ class DeriveConfig:
     and ``workers`` select the derivation runtime (:mod:`repro.exec`):
     serial, thread-pool, or process-pool shard execution — results are
     bit-identical across all of them for any worker count.
+
+    ``gibbs_vectorized`` (default on) serves multi-missing shards with the
+    vectorized lock-step ensemble kernel
+    (:class:`~repro.core.gibbs.GibbsEnsemble`); turning it off restores
+    the scalar tuple-DAG sampler as a correctness oracle (same admissible
+    posterior, different — equally valid — seeded sample sets).
+    ``gibbs_chains`` runs that many independent chains per multi-missing
+    tuple in the ensemble and pools their draws into the same
+    ``num_samples`` budget — more starting points, better mixing, at
+    effectively the same wall-clock.
     """
 
     support_threshold: float = 0.01
@@ -58,6 +68,8 @@ class DeriveConfig:
     engine: str = DEFAULT_ENGINE
     executor: str = DEFAULT_EXECUTOR
     workers: int = DEFAULT_WORKERS
+    gibbs_chains: int = 1
+    gibbs_vectorized: bool = True
 
     def __post_init__(self) -> None:
         set_ = object.__setattr__  # frozen dataclass: normalize in place
@@ -70,6 +82,14 @@ class DeriveConfig:
         set_(self, "engine", validate_engine(self.engine))
         set_(self, "executor", validate_executor(self.executor))
         set_(self, "workers", validate_workers(self.workers))
+        set_(self, "gibbs_chains", int(self.gibbs_chains))
+        if not isinstance(self.gibbs_vectorized, bool):
+            # bool("off") is True — reject string spellings outright
+            # rather than silently running the wrong kernel.
+            raise ValueError(
+                f"gibbs_vectorized must be a boolean, "
+                f"got {self.gibbs_vectorized!r}"
+            )
         if self.seed is not None:
             set_(self, "seed", int(self.seed))
         if not 0.0 <= self.support_threshold <= 1.0:
@@ -83,6 +103,8 @@ class DeriveConfig:
             raise ValueError("num_samples must be positive")
         if self.burn_in < 0:
             raise ValueError("burn_in must be non-negative")
+        if self.gibbs_chains < 1:
+            raise ValueError("gibbs_chains must be positive")
         if self.strategy not in STRATEGIES:
             raise ValueError(
                 f"strategy must be one of {STRATEGIES}, got {self.strategy!r}"

@@ -62,6 +62,18 @@ def _require(payload: Mapping[str, Any], key: str) -> Any:
         raise ServiceError(f"request is missing required field {key!r}") from None
 
 
+def _optional_bool(payload: Mapping[str, Any], key: str) -> bool | None:
+    """A strictly-boolean optional field: JSON true/false or absent.
+
+    ``bool("off")`` is ``True``, so coercing strings would silently run
+    the wrong kernel; reject anything that is not a real boolean.
+    """
+    value = payload.get(key)
+    if value is None or isinstance(value, bool):
+        return value
+    raise ServiceError(f"{key!r} must be a JSON boolean, got {value!r}")
+
+
 def _rows(value: Any) -> tuple[tuple[Any, ...], ...]:
     return tuple(tuple(row) for row in value)
 
@@ -139,7 +151,10 @@ class DeriveRequest:
     per-block completion lists or only the counts.  ``executor`` and
     ``workers`` select the shard runtime for this request (shorthand for
     the same keys inside ``config``; the explicit fields win) — results
-    are bit-identical whichever runtime serves them.
+    are bit-identical whichever runtime serves them.  ``gibbs_chains``
+    and ``gibbs_vectorized`` select the multi-missing Gibbs kernel the
+    same way: the vectorized lock-step ensemble (default) or the scalar
+    tuple-DAG oracle, and how many pooled chains each tuple runs.
     """
 
     rows: tuple[tuple[Any, ...], ...]
@@ -150,6 +165,8 @@ class DeriveRequest:
     include_blocks: bool = True
     executor: str | None = None
     workers: int | None = None
+    gibbs_chains: int | None = None
+    gibbs_vectorized: bool | None = None
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "DeriveRequest":
@@ -166,6 +183,11 @@ class DeriveRequest:
                 None if payload.get("workers") is None
                 else int(payload["workers"])
             ),
+            gibbs_chains=(
+                None if payload.get("gibbs_chains") is None
+                else int(payload["gibbs_chains"])
+            ),
+            gibbs_vectorized=_optional_bool(payload, "gibbs_vectorized"),
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -182,6 +204,8 @@ class DeriveRequest:
             "include_blocks": self.include_blocks,
             "executor": self.executor,
             "workers": self.workers,
+            "gibbs_chains": self.gibbs_chains,
+            "gibbs_vectorized": self.gibbs_vectorized,
         }
 
 
@@ -378,6 +402,8 @@ class InferenceService:
                 config=request.config,
                 executor=request.executor,
                 workers=request.workers,
+                gibbs_chains=request.gibbs_chains,
+                gibbs_vectorized=request.gibbs_vectorized,
                 progress=progress,
                 cancel=cancel,
             )

@@ -79,17 +79,31 @@ class Session:
         config: DeriveConfig | Mapping[str, Any] | None = None,
         executor: str | None = None,
         workers: int | None = None,
+        gibbs_chains: int | None = None,
+        gibbs_vectorized: bool | None = None,
     ) -> DeriveConfig:
         """The config a derive call with these arguments actually runs under.
 
-        Resolution order: explicit ``executor``/``workers`` beat ``config``
-        entries, which beat the session's config.  :meth:`derive` uses this
-        internally; the service layer uses it to size progress estimates
-        with the same worker count the derivation will use.
+        Resolution order: explicit keyword overrides (``executor``,
+        ``workers``, ``gibbs_chains``, ``gibbs_vectorized``) beat
+        ``config`` entries, which beat the session's config.
+        :meth:`derive` uses this internally; the service layer uses it to
+        size progress estimates with the same worker count the derivation
+        will use.
         """
         cfg = self._per_call_config(config)
-        if executor is not None or workers is not None:
-            cfg = resolve_config(cfg, executor=executor, workers=workers)
+        overrides = {
+            k: v
+            for k, v in (
+                ("executor", executor),
+                ("workers", workers),
+                ("gibbs_chains", gibbs_chains),
+                ("gibbs_vectorized", gibbs_vectorized),
+            )
+            if v is not None
+        }
+        if overrides:
+            cfg = resolve_config(cfg, **overrides)
         return cfg
 
     # -- model registry ----------------------------------------------------
@@ -169,6 +183,8 @@ class Session:
         rng: np.random.Generator | int | None = None,
         executor: str | None = None,
         workers: int | None = None,
+        gibbs_chains: int | None = None,
+        gibbs_vectorized: bool | None = None,
         progress: (
             ProgressTracker | Callable[[ProgressSnapshot], None] | None
         ) = None,
@@ -184,7 +200,10 @@ class Session:
         ``executor`` / ``workers`` override the config's shard runtime for
         this call (e.g. ``executor="process", workers=4`` to fan the
         derivation out across worker processes); results are bit-identical
-        whichever runtime serves them.
+        whichever runtime serves them.  ``gibbs_chains`` /
+        ``gibbs_vectorized`` override the multi-missing kernel the same
+        way: the vectorized ensemble (default) or the scalar tuple-DAG
+        oracle, and how many pooled chains each tuple runs.
 
         ``progress`` observes the derivation as it runs: pass a
         :class:`~repro.jobs.progress.ProgressTracker` to drive yourself, or
@@ -196,7 +215,13 @@ class Session:
         registers nothing — a cancelled derive never leaves a partial
         database behind.
         """
-        cfg = self.effective_config(config, executor=executor, workers=workers)
+        cfg = self.effective_config(
+            config,
+            executor=executor,
+            workers=workers,
+            gibbs_chains=gibbs_chains,
+            gibbs_vectorized=gibbs_vectorized,
+        )
         tracker = self._as_tracker(progress, cfg.parallelism)
         model_name = name if model is None else model
         if model_name not in self._models:

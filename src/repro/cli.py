@@ -105,6 +105,21 @@ def build_parser() -> argparse.ArgumentParser:
             help=f"Gibbs burn-in sweeps (default {DEFAULTS.burn_in})",
         )
         p.add_argument(
+            "--gibbs-chains", type=int, default=DEFAULTS.gibbs_chains,
+            help="independent Gibbs chains pooled per multi-missing tuple "
+            "in the vectorized ensemble kernel "
+            f"(default {DEFAULTS.gibbs_chains})",
+        )
+        p.add_argument(
+            "--gibbs-vectorized", choices=("on", "off"),
+            default="on" if DEFAULTS.gibbs_vectorized else "off",
+            help="multi-missing Gibbs kernel: 'on' runs all chains of a "
+            "shard's tuples in lock step on the compiled engine; 'off' is "
+            "the scalar tuple-DAG oracle (same posterior, different "
+            "equally-valid seeded samples; default: "
+            f"{'on' if DEFAULTS.gibbs_vectorized else 'off'})",
+        )
+        p.add_argument(
             "--seed", type=int, default=DEFAULTS.seed,
             help="sampler seed (default: fresh entropy)",
         )
@@ -168,6 +183,15 @@ def config_from_args(args: argparse.Namespace) -> DeriveConfig:
         engine=getattr(args, "engine", DEFAULTS.engine),
         executor=getattr(args, "executor", DEFAULTS.executor),
         workers=getattr(args, "workers", DEFAULTS.workers),
+        gibbs_chains=getattr(args, "gibbs_chains", DEFAULTS.gibbs_chains),
+        gibbs_vectorized=(
+            getattr(
+                args,
+                "gibbs_vectorized",
+                "on" if DEFAULTS.gibbs_vectorized else "off",
+            )
+            == "on"
+        ),
     )
 
 

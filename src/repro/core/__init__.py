@@ -26,7 +26,13 @@ from .engine import (
     validate_engine,
 )
 from .diagnostics import ChainPlan, gelman_rubin, psrf, suggest_chain_lengths
-from .gibbs import GibbsChain, GibbsSampler, estimate_joint, samples_to_distribution
+from .gibbs import (
+    GibbsChain,
+    GibbsEnsemble,
+    GibbsSampler,
+    estimate_joint,
+    samples_to_distribution,
+)
 from .lazy import LazyDeriver
 from .inference import (
     VoteExplanation,
@@ -54,7 +60,12 @@ from .metarule import MetaRule, build_meta_rules, smooth_cpd
 from .mrsl import MRSL, MRSLModel
 from .persistence import load_model, model_from_dict, model_to_dict, save_model
 from .rules import AssociationRule, compute_association_rules
-from .tuple_dag import SamplingStats, TupleDAG, workload_sampling
+from .tuple_dag import (
+    SamplingStats,
+    TupleDAG,
+    ensemble_sampling,
+    workload_sampling,
+)
 
 __all__ = [
     "Item",
@@ -85,11 +96,13 @@ __all__ = [
     "explain_single",
     "GibbsSampler",
     "GibbsChain",
+    "GibbsEnsemble",
     "estimate_joint",
     "samples_to_distribution",
     "TupleDAG",
     "SamplingStats",
     "workload_sampling",
+    "ensemble_sampling",
     "DeriveResult",
     "derive_probabilistic_database",
     "single_missing_blocks",

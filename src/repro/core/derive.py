@@ -139,6 +139,8 @@ def derive_probabilistic_database(
     batch_engine: BatchInferenceEngine | None = None,
     executor: Executor | str | None = None,
     workers: int | None = None,
+    gibbs_chains: int | None = None,
+    gibbs_vectorized: bool | None = None,
     on_plan: Callable[[ShardPlan], None] | None = None,
     on_shard: Callable[[ShardResult], None] | None = None,
     should_stop: Callable[[], bool] | None = None,
@@ -183,6 +185,11 @@ def derive_probabilistic_database(
         and the pool size.  ``executor`` also accepts a pre-built
         :class:`~repro.exec.executors.Executor` instance.  Results are
         bit-identical whichever runtime executes the shards.
+    gibbs_chains, gibbs_vectorized:
+        Multi-missing kernel selection (override the config fields of the
+        same names): ``gibbs_vectorized`` picks the lock-step ensemble
+        kernel (default) or the scalar tuple-DAG oracle, ``gibbs_chains``
+        pools that many chains per tuple into the ``num_samples`` budget.
     on_plan, on_shard, should_stop:
         Progress and cancellation hooks, forwarded to
         :func:`~repro.exec.runtime.execute_derivation`: ``on_plan`` sees the
@@ -207,6 +214,8 @@ def derive_probabilistic_database(
         engine=engine,
         workers=workers,
         executor=None if isinstance(executor, Executor) else executor,
+        gibbs_chains=gibbs_chains,
+        gibbs_vectorized=gibbs_vectorized,
     )
     if rng is None:
         rng = cfg.seed

@@ -79,6 +79,10 @@ class BatchInferenceEngine:
         self.v_scheme = VotingScheme(v_scheme)
         self.compiled = CompiledModel(model)
         self.cache = LRUCache(cache_size)
+        # Per-attribute mixed-radix multipliers for packing signature
+        # columns into one int64 per row (None = space too large to pack;
+        # the batch path then falls back to row-wise unique).
+        self._sig_packers: dict[int, np.ndarray | None] = {}
         #: distinct (attribute, signature, config) groups actually computed
         self.groups_computed = 0
         #: tuples served across all batch calls
@@ -136,6 +140,123 @@ class BatchInferenceEngine:
         return probs
 
     # -- batch entry points ----------------------------------------------------
+
+    def conditional_probs_batch(
+        self,
+        states: np.ndarray,
+        attr: int,
+        v_choice: VoterChoice | str | None = None,
+        v_scheme: VotingScheme | str | None = None,
+    ) -> np.ndarray:
+        """CPD rows for ``attr`` across a batch of chain states.
+
+        ``states`` is an ``(N, width)`` integer matrix of full code vectors
+        (column ``attr`` is treated as missing regardless of content) — the
+        shape of a vectorized Gibbs ensemble's state.  Rows are grouped by
+        evidence signature with one ``np.unique`` over the signature
+        columns; each distinct signature costs a single compiled match +
+        combine (or an LRU hit — the cache entries are exactly the scalar
+        :meth:`conditional_probs` ones, so scalar and batch callers warm
+        each other).  Returns the ``(N, cardinality)`` matrix of per-row
+        CPDs.
+        """
+        choice = self.v_choice if v_choice is None else VoterChoice(v_choice)
+        scheme = self.v_scheme if v_scheme is None else VotingScheme(v_scheme)
+        compiled = self.compiled[attr]
+        # int32 matches RelTuple code vectors, so signature bytes are
+        # interchangeable with the scalar path's cache keys.
+        states = np.ascontiguousarray(states, dtype=np.int32)
+        n = states.shape[0]
+        if n == 0:
+            return np.empty((0, compiled.cardinality), dtype=np.float64)
+        sig_attrs = compiled.signature_attrs
+        if sig_attrs.size == 0:
+            # No meta-rule conditions on anything: one shared CPD.
+            probs = self.conditional_probs(states[0], attr, choice, scheme)
+            self.tuples_served += n
+            return np.broadcast_to(probs, (n, probs.size))
+        sigs = np.ascontiguousarray(states[:, sig_attrs])
+        first, inverse, num_groups = self._group_rows(attr, sigs)
+        group_cpds = np.empty((num_groups, compiled.cardinality))
+        for g in range(num_groups):
+            rep = first[g]
+            # Inlined twin of conditional_probs' memoization: the key is
+            # the same (attr, choice, scheme, signature-bytes) tuple —
+            # sigs[rep] IS compiled.signature(states[rep]) — but built
+            # from the already-gathered signature matrix.  Calling the
+            # scalar path here would redo enum validation and the
+            # signature gather per group and halve kernel throughput;
+            # key compatibility is pinned by the cache-sharing test in
+            # tests/test_gibbs_vectorized.py.
+            key = (attr, choice, scheme, sigs[rep].tobytes())
+            cached = self.cache.get(key)
+            if cached is None:
+                cached = compiled.infer(states[rep], choice, scheme)
+                cached.setflags(write=False)
+                self.cache.put(key, cached)
+                self.groups_computed += 1
+            group_cpds[g] = cached
+        self.tuples_served += n
+        return group_cpds[inverse]
+
+    def _sig_packer(self, attr: int) -> np.ndarray | None:
+        """Mixed-radix multipliers packing a signature row into one int64.
+
+        Radix ``cardinality + 1`` per column keeps :data:`MISSING_CODE`
+        (-1, shifted to 0) collision-free; ``None`` when the packed space
+        overflows int64 (pathologically wide signatures).
+        """
+        try:
+            return self._sig_packers[attr]
+        except KeyError:
+            pass
+        radices = [
+            self.schema[int(a)].cardinality + 1
+            for a in self.compiled[attr].signature_attrs
+        ]
+        space = 1
+        for r in radices:
+            space *= r  # Python ints: exact, no wraparound
+        mult: np.ndarray | None
+        if space >= 2**63:
+            mult = None  # packed codes would overflow int64 and collide
+        else:
+            mult = np.empty(len(radices), dtype=np.int64)
+            scale = 1
+            for i in range(len(radices) - 1, -1, -1):
+                mult[i] = scale
+                scale *= radices[i]
+        self._sig_packers[attr] = mult
+        return mult
+
+    def _group_rows(
+        self, attr: int, sigs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Group signature rows: (first-occurrence index per group,
+        per-row group index, group count).
+
+        The hot path packs each row into one integer and groups with a
+        single stable argsort — much cheaper than a row-wise
+        ``np.unique`` — falling back to the latter only when the packed
+        space would overflow.
+        """
+        mult = self._sig_packer(attr)
+        if mult is None:
+            _, first, inverse = np.unique(
+                sigs, axis=0, return_index=True, return_inverse=True
+            )
+            return first, inverse.reshape(-1), len(first)
+        packed = (sigs.astype(np.int64) + 1) @ mult
+        order = np.argsort(packed, kind="stable")
+        sorted_packed = packed[order]
+        boundary = np.empty(order.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(sorted_packed[1:], sorted_packed[:-1], out=boundary[1:])
+        group_of_sorted = np.cumsum(boundary) - 1
+        inverse = np.empty(order.size, dtype=np.intp)
+        inverse[order] = group_of_sorted
+        first = order[boundary]
+        return first, inverse, int(first.size)
 
     def infer_batch_codes(
         self,

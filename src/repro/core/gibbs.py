@@ -15,6 +15,19 @@ workload driver.  The cache is a size-bounded LRU so long-running workloads
 cannot grow it without bound; conditional CPDs are computed by the compiled
 engine (:mod:`repro.core.compiled`) by default, with the naive voter
 enumeration kept as the ``engine="naive"`` correctness oracle.
+
+Two chain drivers share the sampler:
+
+* :class:`GibbsChain` — the scalar reference path: one chain, one Python
+  ``conditional_probs`` call and one ``rng.choice`` per resampled
+  attribute.
+* :class:`GibbsEnsemble` — the vectorized kernel: all chains of all tuples
+  in a batch advance in lock step, one
+  :meth:`~repro.core.engine.BatchInferenceEngine.conditional_probs_batch`
+  call and one ``rng.random(N)`` inverse-CDF draw per (sweep, attribute).
+  With one chain and one tuple it consumes the *same* RNG stream as the
+  scalar chain and reproduces its samples exactly; larger batches draw in
+  a different (equally admissible) order.
 """
 
 from __future__ import annotations
@@ -37,7 +50,13 @@ from .engine import (
 from .inference import VoterChoice, VotingScheme, _combine, select_voters
 from .mrsl import MRSLModel
 
-__all__ = ["GibbsSampler", "estimate_joint", "samples_to_distribution"]
+__all__ = [
+    "GibbsChain",
+    "GibbsEnsemble",
+    "GibbsSampler",
+    "estimate_joint",
+    "samples_to_distribution",
+]
 
 #: Outcome spaces larger than this are reported over observed outcomes only
 #: (no exhaustive smoothing over the full Cartesian product).
@@ -59,6 +78,7 @@ class GibbsSampler:
         rng: np.random.Generator | int | None = None,
         engine: str = DEFAULT_ENGINE,
         cache_size: int | None = DEFAULT_CPD_CACHE_SIZE,
+        batch_engine: BatchInferenceEngine | None = None,
     ):
         self.model = model
         self.schema = model.schema
@@ -68,7 +88,22 @@ class GibbsSampler:
             rng = np.random.default_rng(rng)
         self.rng = rng
         self.engine = validate_engine(engine)
-        if self.engine == "compiled":
+        if batch_engine is not None:
+            # A caller's warm engine (the shard runtime path): its compiled
+            # structures and CPD cache carry over across samplers.  CPDs are
+            # requested with this sampler's voting config explicitly, so the
+            # engine's own defaults never leak in.
+            if batch_engine.model is not model:
+                raise ValueError(
+                    "batch_engine wraps a different model than the sampler's"
+                )
+            if self.engine != "compiled":
+                raise ValueError(
+                    "a warm batch_engine requires engine='compiled'"
+                )
+            self._engine = batch_engine
+            self._cpd_cache = batch_engine.cache
+        elif self.engine == "compiled":
             self._engine = BatchInferenceEngine(
                 model, self.v_choice, self.v_scheme, cache_size=cache_size
             )
@@ -105,7 +140,9 @@ class GibbsSampler:
         meta-rule conditions on share one entry.
         """
         if self._engine is not None:
-            return self._engine.conditional_probs(codes, attr)
+            return self._engine.conditional_probs(
+                codes, attr, self.v_choice, self.v_scheme
+            )
         masked = codes.copy()
         masked[attr] = MISSING_CODE
         key = (attr, masked.tobytes())
@@ -116,8 +153,14 @@ class GibbsSampler:
         voters = select_voters(self.model[attr], t, self.v_choice)
         probs = _combine(voters, self.schema[attr].cardinality, self.v_scheme)
         # Strict positivity is required for Gibbs irreducibility; meta-rule
-        # CPDs are positive by construction but the uniform fallback is too,
-        # so this is a cheap invariant check rather than a transform.
+        # CPDs are positive by construction and the uniform fallback is too,
+        # so a learned model never trips this — but hand-built or mutated
+        # CPDs can carry exact zeros, which would freeze the chain out of
+        # states (and a zero-sum vector would crash ``rng.choice``).  Clamp
+        # to the smoothing floor and renormalize when the invariant fails.
+        if not (probs > 0.0).all():
+            probs = np.maximum(probs, DEFAULT_SMOOTHING_FLOOR)
+            probs = probs / probs.sum()
         self._cpd_cache.put(key, probs)
         return probs
 
@@ -126,6 +169,16 @@ class GibbsSampler:
     def chain(self, base: RelTuple) -> "GibbsChain":
         """Create a chain clamped to ``base``'s observed values."""
         return GibbsChain(self, base)
+
+    def ensemble(
+        self, bases: Sequence[RelTuple], chains: int = 1
+    ) -> "GibbsEnsemble":
+        """Create a lock-step vectorized ensemble over ``bases``.
+
+        ``chains`` independent chains per tuple advance together; requires
+        the compiled engine (the naive path stays scalar by design).
+        """
+        return GibbsEnsemble(self, bases, chains=chains)
 
     # -- one-shot estimation ------------------------------------------------------
 
@@ -179,45 +232,193 @@ class GibbsChain:
             self.sweep()
 
 
+class GibbsEnsemble:
+    """Lock-step vectorized Gibbs chains over a batch of incomplete tuples.
+
+    The state is one ``(num_tuples * chains, width)`` integer matrix:
+    ``chains`` consecutive rows per base tuple, observed values clamped.  A
+    sweep cycles the (union of) missing attributes in ascending position
+    order — the same per-tuple order the scalar chain uses — and resamples
+    every row missing that attribute at once: one
+    :meth:`~repro.core.engine.BatchInferenceEngine.conditional_probs_batch`
+    call for the CPDs, one ``rng.random(N)`` draw, and one vectorized
+    inverse-CDF lookup replace ``N`` ``conditional_probs`` + ``rng.choice``
+    round trips.
+
+    The inverse-CDF lookup reproduces ``Generator.choice(card, p=probs)``
+    exactly (same cumulative normalization, same ``side='right'`` search),
+    so a one-tuple, one-chain ensemble emits bit-identical samples to
+    :class:`GibbsChain` under the same seed.  Multi-tuple or multi-chain
+    ensembles interleave draws differently — different, equally admissible
+    sample sets, as with the shard runtime's per-shard reseeding.
+    """
+
+    def __init__(
+        self, sampler: GibbsSampler, bases: Sequence[RelTuple], chains: int = 1
+    ):
+        if sampler._engine is None:
+            raise ValueError(
+                "the vectorized ensemble requires engine='compiled'; "
+                "the naive engine stays on the scalar GibbsChain path"
+            )
+        if chains < 1:
+            raise ValueError("chains must be positive")
+        bases = list(bases)
+        if not bases:
+            raise ValueError("need at least one tuple")
+        seen: set[RelTuple] = set()
+        for base in bases:
+            if base.is_complete:
+                raise ValueError("Gibbs sampling requires incomplete tuples")
+            if base in seen:
+                raise ValueError(
+                    "ensemble tuples must be distinct (duplicates share "
+                    "one block; dedupe before building the ensemble)"
+                )
+            seen.add(base)
+        self.sampler = sampler
+        self.bases = bases
+        self.chains = chains
+        schema = sampler.schema
+        k = chains
+        self.states = np.empty((len(bases) * k, len(schema)), dtype=np.int32)
+        rows_by_attr: dict[int, list[int]] = {}
+        for i, base in enumerate(bases):
+            lo = i * k
+            self.states[lo : lo + k] = base.codes
+            for attr in base.missing_positions:
+                rows_by_attr.setdefault(attr, []).extend(range(lo, lo + k))
+        #: sweep order: ascending attribute position, as in the scalar chain
+        self.attrs = tuple(sorted(rows_by_attr))
+        self._rows = {
+            attr: np.asarray(rows, dtype=np.intp)
+            for attr, rows in rows_by_attr.items()
+        }
+        # "Start with a valid random assignment of attribute values" —
+        # tuple-major, missing-position-minor, one array draw per (tuple,
+        # attribute); identical to the scalar chain's stream for one tuple
+        # with one chain.
+        rng = sampler.rng
+        for i, base in enumerate(bases):
+            lo = i * k
+            for attr in base.missing_positions:
+                self.states[lo : lo + k, attr] = rng.integers(
+                    schema[attr].cardinality, size=k
+                )
+
+    def __len__(self) -> int:
+        """Total chains (rows of the state matrix)."""
+        return self.states.shape[0]
+
+    def sweep(self) -> None:
+        """One ordered cycle: resample every missing attribute everywhere."""
+        sampler = self.sampler
+        engine = sampler._engine
+        rng = sampler.rng
+        states = self.states
+        for attr in self.attrs:
+            rows = self._rows[attr]
+            probs = engine.conditional_probs_batch(
+                states[rows], attr, sampler.v_choice, sampler.v_scheme
+            )
+            cdf = np.cumsum(probs, axis=1)
+            cdf /= cdf[:, -1:]
+            u = rng.random(rows.size)
+            # searchsorted(cdf, u, side="right") per row — the exact
+            # arithmetic of Generator.choice(n, p=probs).
+            states[rows, attr] = (cdf <= u[:, None]).sum(axis=1)
+            sampler.steps += rows.size
+
+    def run(
+        self, num_samples: int, burn_in: int = 0
+    ) -> list[np.ndarray]:
+        """Burn in, then pool ``num_samples`` samples per base tuple.
+
+        Each of the ``ceil(num_samples / chains)`` recorded sweeps
+        contributes one sample per chain; per-tuple samples are pooled
+        sweep-major, chain-minor and truncated to ``num_samples``.  Returns
+        one ``(num_samples, num_missing)`` code matrix per base tuple, in
+        base order — ready for :func:`samples_to_distribution`.
+        """
+        if num_samples < 1:
+            raise ValueError("num_samples must be positive")
+        if burn_in < 0:
+            raise ValueError("burn_in must be non-negative")
+        for _ in range(burn_in):
+            self.sweep()
+        k = self.chains
+        sweeps = -(-num_samples // k)
+        trace = np.empty((sweeps,) + self.states.shape, dtype=np.int32)
+        for s in range(sweeps):
+            self.sweep()
+            trace[s] = self.states
+        out = []
+        for i, base in enumerate(self.bases):
+            lo = i * k
+            block = trace[:, lo : lo + k][:, :, list(base.missing_positions)]
+            out.append(block.reshape(sweeps * k, -1)[:num_samples])
+        return out
+
+
 def samples_to_distribution(
     schema,
     base: RelTuple,
-    samples: Sequence[tuple[int, ...]],
+    samples: "Sequence[tuple[int, ...]] | np.ndarray",
     floor: float = DEFAULT_SMOOTHING_FLOOR,
 ) -> Distribution:
     """Empirical joint over ``base``'s missing values from chain samples.
 
-    Outcomes are tuples of *values* (not codes) in missing-position order —
-    the format :class:`~repro.probdb.blocks.TupleBlock` expects.  When the
-    full outcome space is small enough the distribution covers it entirely
+    ``samples`` is a sequence of per-sample code tuples (the scalar chain's
+    output) or an equivalent ``(n, num_missing)`` code matrix (the
+    ensemble's).  Outcomes are tuples of *values* (not codes) in
+    missing-position order — the format
+    :class:`~repro.probdb.blocks.TupleBlock` expects.  When the full
+    outcome space is small enough the distribution covers it entirely
     (zero-count combinations get the smoothing floor), so KL against an
     exact posterior is always finite; otherwise only observed outcomes are
     reported.
+
+    Counting is one ``np.unique`` over packed sample codes; the resulting
+    distributions are bit-identical to the historical Python counting loop
+    (same count/total divisions, same outcome order).
     """
-    if not samples:
+    n = len(samples)
+    if n == 0:
         raise ValueError("need at least one sample")
     missing = base.missing_positions
     domains = [schema[attr].domain for attr in missing]
     space = 1
     for d in domains:
         space *= len(d)
-    counts: dict[tuple[int, ...], int] = {}
-    for sample in samples:
-        counts[sample] = counts.get(sample, 0) + 1
+    arr = np.asarray(samples, dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != len(missing):
+        raise ValueError(
+            f"samples must be (n, {len(missing)}) codes over the missing "
+            f"positions, got shape {arr.shape}"
+        )
     if space <= MAX_DENSE_OUTCOMES:
-        outcomes: list[Hashable] = []
-        probs = []
-        n = len(samples)
-        for combo in product(*(range(len(d)) for d in domains)):
-            outcomes.append(tuple(d[c] for d, c in zip(domains, combo)))
-            probs.append(counts.get(combo, 0) / n)
+        dims = tuple(len(d) for d in domains)
+        # Pack each sample into its row-major rank — exactly the order
+        # ``product`` enumerates the outcome space in.
+        packed = np.ravel_multi_index(tuple(arr.T), dims)
+        codes, counts = np.unique(packed, return_counts=True)
+        probs = np.zeros(space)
+        probs[codes] = counts / n
+        outcomes: list[Hashable] = [
+            tuple(d[c] for d, c in zip(domains, combo))
+            for combo in product(*(range(len(d)) for d in domains))
+        ]
         return Distribution(outcomes, np.maximum(probs, floor))
-    n = len(samples)
+    # Sparse: observed outcomes only, in first-occurrence order (the order
+    # the historical dict-based counting reported them in).
+    rows, first, counts = np.unique(
+        arr, axis=0, return_index=True, return_counts=True
+    )
+    order = np.argsort(first, kind="stable")
     outcomes = [
-        tuple(d[c] for d, c in zip(domains, combo)) for combo in counts
+        tuple(d[int(c)] for d, c in zip(domains, rows[i])) for i in order
     ]
-    probs = [c / n for c in counts.values()]
-    return Distribution(outcomes, probs)
+    return Distribution(outcomes, counts[order] / n)
 
 
 def estimate_joint(

@@ -15,7 +15,12 @@ Materialization runs through the shard runtime (:mod:`repro.exec`):
 into signature / subsumption-component shards, and caches blocks as each
 shard's result streams back — so a prefetch can use thread or process
 workers (``config.executor`` / ``config.workers``) exactly like the eager
-pipeline, and partial results land in the cache even mid-run.
+pipeline, and partial results land in the cache even mid-run.  Multi-
+missing prefetches inherit the vectorized ensemble kernel too: the shards
+carry batched tuple groups whose chains advance in lock step
+(``config.gibbs_vectorized`` / ``config.gibbs_chains``), so a cold
+prefetch over many multi-missing tuples costs batched matrix ops rather
+than per-tuple Python loops.
 """
 
 from __future__ import annotations
@@ -60,6 +65,8 @@ class LazyDeriver:
         config: DeriveConfig | None = None,
         executor: str | None = None,
         workers: int | None = None,
+        gibbs_chains: int | None = None,
+        gibbs_vectorized: bool | None = None,
     ):
         cfg = resolve_config(
             config,
@@ -73,6 +80,8 @@ class LazyDeriver:
             engine=engine,
             executor=executor,
             workers=workers,
+            gibbs_chains=gibbs_chains,
+            gibbs_vectorized=gibbs_vectorized,
         )
         self.config = cfg
         self.relation = relation

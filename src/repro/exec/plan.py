@@ -15,6 +15,16 @@ Two partitioning rules, one per inference regime:
   along component boundaries loses no sharing.  Each component becomes one
   shard with an RNG seed derived from the base seed and a stable content
   key, which makes results identical for any executor and worker count.
+
+  When the vectorized Gibbs kernel serves the workload (``multi_batch``),
+  components become pure grouping hints re-batched to ``multi_batch``
+  distinct tuples per shard: small components pack together (the ensemble
+  kernel's throughput grows with batch size) and oversized ones split
+  (the kernel shares nothing across tuples, and an unsplit giant
+  component would serialize on one worker).  Re-batching is greedy in
+  deterministic component order and never depends on the worker count, so
+  per-shard seeds — hence results — remain identical for every executor
+  and worker count.
 """
 
 from __future__ import annotations
@@ -25,17 +35,29 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 import numpy as np
 
 from ..core.compiled import CompiledModel
-from ..relational.tuples import RelTuple, proper_subsumes
+from ..relational.tuples import MISSING_CODE, RelTuple
 from .base import DEFAULT_WORKERS, Shard, ShardPlan, validate_workers
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.mrsl import MRSLModel
 
-__all__ = ["plan_shards", "resolve_base_seed", "shard_seed"]
+__all__ = [
+    "MULTI_TUPLES_PER_SHARD",
+    "plan_shards",
+    "resolve_base_seed",
+    "shard_seed",
+]
 
 #: Target single shards per worker; >1 smooths load imbalance between
 #: unevenly sized signature groups without shrinking groups themselves.
 SINGLE_SHARDS_PER_WORKER = 2
+
+#: Distinct tuples per multi shard when the vectorized Gibbs kernel runs
+#: the workload (the ``multi_batch`` the runtime passes).  Larger batches
+#: amortize the per-(sweep, attribute) kernel overhead over more chains;
+#: deliberately *not* worker-dependent so per-shard seeds never change
+#: with the executor or pool size.
+MULTI_TUPLES_PER_SHARD = 128
 
 
 def resolve_base_seed(
@@ -127,14 +149,23 @@ def _pack_single_shards(
     return shards
 
 
+#: Row-block size for the pairwise subsumption test; bounds the temporary
+#: ``(block, n, width)`` comparison at a few MB for realistic workloads.
+_SUBSUME_BLOCK = 256
+
+
 def _components(
     entries: Sequence[tuple[int, RelTuple]],
 ) -> list[list[tuple[int, RelTuple]]]:
     """Connected components of the subsumption graph over distinct tuples.
 
-    Duplicated tuples join their first occurrence's component.  Quadratic in
-    the number of *distinct* multi-missing tuples, exactly like the
-    :class:`~repro.core.tuple_dag.TupleDAG` it mirrors.
+    Duplicated tuples join their first occurrence's component.  Still
+    quadratic in the number of *distinct* multi-missing tuples, but the
+    pairwise test (Def. 2.4: every known value of ``a`` appears in ``b``,
+    and ``a`` knows strictly less) runs as blocked NumPy comparisons over
+    the stacked code matrix instead of Python-level ``proper_subsumes``
+    calls — planning a thousands-of-tuples workload costs milliseconds,
+    not seconds.
     """
     distinct: dict[RelTuple, int] = {}
     members: list[list[tuple[int, RelTuple]]] = []
@@ -146,7 +177,8 @@ def _components(
         else:
             members[node].append((idx, t))
     tuples = list(distinct)
-    parent = list(range(len(tuples)))
+    n = len(tuples)
+    parent = list(range(n))
 
     def find(i: int) -> int:
         while parent[i] != i:
@@ -154,16 +186,70 @@ def _components(
             i = parent[i]
         return i
 
-    for i, a in enumerate(tuples):
-        for j, b in enumerate(tuples):
-            if i != j and proper_subsumes(a, b):
-                ri, rj = find(i), find(j)
+    if n > 1:
+        codes = np.stack([t.codes for t in tuples])
+        known = codes != MISSING_CODE
+        num_missing = (~known).sum(axis=1)
+        for start in range(0, n, _SUBSUME_BLOCK):
+            stop = min(start + _SUBSUME_BLOCK, n)
+            # agree[x, j]: every known value of tuple start+x appears in j.
+            agree = (
+                (codes[start:stop, None, :] == codes[None, :, :])
+                | ~known[start:stop, None, :]
+            ).all(axis=2)
+            proper = agree & (
+                num_missing[start:stop, None] > num_missing[None, :]
+            )
+            for x, j in np.argwhere(proper):
+                ri, rj = find(start + int(x)), find(int(j))
                 if ri != rj:
                     parent[max(ri, rj)] = min(ri, rj)
     by_root: dict[int, list[tuple[int, RelTuple]]] = {}
-    for i in range(len(tuples)):
+    for i in range(n):
         by_root.setdefault(find(i), []).extend(members[i])
     return [sorted(c, key=lambda e: e[0]) for _, c in sorted(by_root.items())]
+
+
+def _batch_components(
+    components: list[list[tuple[int, RelTuple]]],
+    multi_batch: int | None,
+) -> list[list[tuple[int, RelTuple]]]:
+    """Re-batch components into ≤ ``multi_batch`` distinct tuples apiece.
+
+    ``None`` (the scalar kernel) keeps the one-component-per-shard layout
+    the tuple-DAG's sample sharing requires.  For the vectorized kernel
+    components carry no sharing, so they are pure grouping hints: small
+    ones pack together (bigger ensembles amortize the per-sweep kernel
+    cost), and one larger than the target is *split* into consecutive
+    chunks — an unsplit giant component would serialize a whole shard's
+    worth of work on one worker.  Batching follows the deterministic
+    component order and depends only on the workload and ``multi_batch`` —
+    never on the worker count — so shard content keys, and therefore
+    per-shard seeds, are stable across executors and pool sizes.
+    """
+    if multi_batch is None:
+        return components
+    if multi_batch < 1:
+        raise ValueError("multi_batch must be positive (or None)")
+    batches: list[list[tuple[int, RelTuple]]] = []
+    current: list[tuple[int, RelTuple]] = []
+    distinct = 0
+    for component in components:
+        # Duplicate entries of one tuple always travel together (they
+        # share one block), so chunk by distinct tuple, not by entry.
+        by_tuple: dict[RelTuple, list[tuple[int, RelTuple]]] = {}
+        for entry in sorted(component, key=lambda e: e[0]):
+            by_tuple.setdefault(entry[1], []).append(entry)
+        for entries in by_tuple.values():
+            if distinct == multi_batch:
+                batches.append(current)
+                current = []
+                distinct = 0
+            current.extend(entries)
+            distinct += 1
+    if current:
+        batches.append(current)
+    return [sorted(batch, key=lambda e: e[0]) for batch in batches]
 
 
 def plan_shards(
@@ -173,14 +259,19 @@ def plan_shards(
     seed: int | None = None,
     rng: np.random.Generator | int | None = None,
     compiled: CompiledModel | None = None,
+    multi_batch: int | None = None,
 ) -> ShardPlan:
     """Partition ``tuples`` (mixed single- and multi-missing) into shards.
 
-    The returned plan is deterministic given the workload, the model, and
-    ``workers``; its multi shards additionally never depend on ``workers``
-    at all.  The base seed is resolved (see :func:`resolve_base_seed`) only
-    when the workload actually contains multi-missing tuples, so RNG-free
-    workloads never consume entropy or disturb a caller's generator.
+    The returned plan is deterministic given the workload, the model,
+    ``workers``, and ``multi_batch``; its multi shards additionally never
+    depend on ``workers`` at all.  ``multi_batch`` packs subsumption
+    components into batches of up to that many distinct tuples for the
+    vectorized Gibbs kernel (``None`` — the scalar kernel — keeps one
+    component per shard).  The base seed is resolved (see
+    :func:`resolve_base_seed`) only when the workload actually contains
+    multi-missing tuples, so RNG-free workloads never consume entropy or
+    disturb a caller's generator.
     """
     workers = validate_workers(workers)
     single: list[tuple[int, RelTuple]] = []
@@ -201,7 +292,7 @@ def plan_shards(
     base_seed: int | None = None
     if multi:
         base_seed = resolve_base_seed(rng, seed)
-        for component in _components(multi):
+        for component in _batch_components(_components(multi), multi_batch):
             distinct = {t for _, t in component}
             key = f"multi:{_content_key(distinct)}"
             shards.append(

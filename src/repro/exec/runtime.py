@@ -20,7 +20,7 @@ import numpy as np
 from ..core.tuple_dag import SamplingStats
 from .base import DerivationCancelled, ExecReport, ShardPlan, ShardResult
 from .executors import ExecContext, Executor, get_executor
-from .plan import plan_shards
+from .plan import MULTI_TUPLES_PER_SHARD, plan_shards
 from .work import ShardKnobs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -88,7 +88,11 @@ def _plan(
 
     Serial execution warms the context's engine up front so the planner's
     signature computation and the kernels share one compiled model instead
-    of compiling twice.
+    of compiling twice.  When the vectorized Gibbs kernel will serve the
+    multi shards, subsumption components are packed into ensemble-sized
+    batches (:data:`~repro.exec.plan.MULTI_TUPLES_PER_SHARD`); the batch
+    target never depends on the worker count, so per-shard seeds — and
+    results — stay identical across executors and pool sizes.
     """
     compiled = None
     if context.batch_engine is None and chosen.name == "serial":
@@ -102,6 +106,11 @@ def _plan(
         seed=config.seed,
         rng=rng,
         compiled=compiled,
+        multi_batch=(
+            MULTI_TUPLES_PER_SHARD
+            if context.knobs.vectorized_gibbs
+            else None
+        ),
     )
 
 

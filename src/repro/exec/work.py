@@ -8,8 +8,14 @@ Two kernels, one per shard kind:
   the serial path, thread workers, and process workers all run the exact
   same code (and therefore produce bit-identical distributions).
 
-* :func:`multi_shard_blocks` — Algorithm 3 Gibbs over one subsumption
-  component, seeded with the shard's deterministic seed.
+* :func:`multi_shard_blocks` — Algorithm 3 Gibbs over one multi shard,
+  seeded with the shard's deterministic seed.  Under the default knobs
+  (compiled engine, ``tuple_dag`` strategy, ``gibbs_vectorized`` on) the
+  shard's tuples run as one vectorized
+  :func:`~repro.core.tuple_dag.ensemble_sampling` batch — all chains of
+  all tuples in lock step; otherwise the scalar
+  :func:`~repro.core.tuple_dag.workload_sampling` oracle serves the shard
+  exactly as before.
 
 The ``_process_*`` functions are the :class:`ProcessExecutor` worker
 protocol: the initializer receives the persisted model JSON (never a
@@ -31,7 +37,7 @@ import numpy as np
 from ..core.engine import BatchInferenceEngine
 from ..core.inference import VoterChoice, VotingScheme, infer_single
 from ..core.mrsl import MRSLModel
-from ..core.tuple_dag import workload_sampling
+from ..core.tuple_dag import ensemble_sampling, workload_sampling
 from ..probdb.blocks import TupleBlock
 from ..probdb.distribution import Distribution
 from ..relational.tuples import RelTuple
@@ -55,6 +61,8 @@ class ShardKnobs:
     num_samples: int
     burn_in: int
     strategy: str
+    gibbs_chains: int = 1
+    gibbs_vectorized: bool = True
 
     @classmethod
     def from_config(cls, cfg: Any) -> "ShardKnobs":
@@ -66,6 +74,23 @@ class ShardKnobs:
             num_samples=cfg.num_samples,
             burn_in=cfg.burn_in,
             strategy=cfg.strategy,
+            gibbs_chains=getattr(cfg, "gibbs_chains", 1),
+            gibbs_vectorized=getattr(cfg, "gibbs_vectorized", True),
+        )
+
+    @property
+    def vectorized_gibbs(self) -> bool:
+        """Whether multi shards run the vectorized ensemble kernel.
+
+        Requires the compiled engine (the naive engine is the scalar
+        oracle) and the default ``tuple_dag`` strategy — the explicit
+        ablation strategies (``tuple_at_a_time``, ``all_at_a_time``) keep
+        their faithful scalar implementations.
+        """
+        return (
+            self.gibbs_vectorized
+            and self.engine == "compiled"
+            and self.strategy == "tuple_dag"
         )
 
 
@@ -118,14 +143,31 @@ def multi_shard_blocks(
     model: MRSLModel,
     knobs: ShardKnobs,
     seed: int,
+    batch_engine: BatchInferenceEngine | None = None,
 ):
-    """Algorithm 3 over one subsumption component with its own seeded RNG.
+    """Algorithm 3 over one multi shard with its own seeded RNG.
 
     Returns ``(blocks, stats)`` exactly as
     :func:`~repro.core.tuple_dag.workload_sampling` does.  The per-shard
     generator is what makes the result independent of which worker (or how
-    many workers) ran the shard.
+    many workers) ran the shard.  Under the vectorized knobs the shard's
+    tuple batch runs as one lock-step
+    :func:`~repro.core.tuple_dag.ensemble_sampling` ensemble, reusing the
+    worker's warm ``batch_engine``; otherwise the scalar oracle runs (and
+    builds its own engine, exactly as before the vectorized kernel).
     """
+    if knobs.vectorized_gibbs:
+        return ensemble_sampling(
+            model,
+            list(tuples),
+            num_samples=knobs.num_samples,
+            burn_in=knobs.burn_in,
+            chains=knobs.gibbs_chains,
+            v_choice=knobs.v_choice,
+            v_scheme=knobs.v_scheme,
+            rng=np.random.default_rng(seed),
+            batch_engine=batch_engine,
+        )
     return workload_sampling(
         model,
         list(tuples),
@@ -156,7 +198,7 @@ def run_shard(
     elif shard.kind == "multi":
         assert shard.seed is not None, "multi shards carry a seed"
         blocks, stats = multi_shard_blocks(
-            shard.tuples, model, knobs, shard.seed
+            shard.tuples, model, knobs, shard.seed, batch_engine=batch_engine
         )
     else:
         raise ValueError(f"unknown shard kind {shard.kind!r}")

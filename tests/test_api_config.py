@@ -123,7 +123,10 @@ class TestCliDefaultsMatchConfig:
         "engine": "engine",
         "executor": "executor",
         "workers": "workers",
+        "gibbs_chains": "gibbs_chains",
     }
+    # --gibbs-vectorized is a string choice ("on"/"off") wrapping the bool
+    # config field; its default is asserted separately below.
 
     @pytest.mark.parametrize("dest,field", sorted(SHARED_KNOBS.items()))
     def test_derive_defaults(self, dest, field):
@@ -134,3 +137,10 @@ class TestCliDefaultsMatchConfig:
     def test_serve_defaults(self, dest, field):
         args = build_parser().parse_args(["serve"])
         assert getattr(args, dest) == getattr(DeriveConfig(), field)
+
+    @pytest.mark.parametrize("command", ["derive", "serve"])
+    def test_gibbs_vectorized_default(self, command):
+        argv = [command, "data.csv"] if command == "derive" else [command]
+        args = build_parser().parse_args(argv)
+        expected = "on" if DeriveConfig().gibbs_vectorized else "off"
+        assert args.gibbs_vectorized == expected

@@ -92,7 +92,9 @@ class TestDerive:
         # The final redraw shows a complete run.
         last = err.rsplit("\r", 1)[-1]
         first_line = last.splitlines()[0]
-        assert "4/4 shards" in first_line and "9/9 tuples" in first_line
+        # One single shard plus one batched multi shard (the vectorized
+        # kernel packs fig1's three subsumption components together).
+        assert "2/2 shards" in first_line and "9/9 tuples" in first_line
 
     def test_derive_progress_output_identical_to_plain(self, csv_path, tmp_path):
         """--progress is pure observation: the derived CSV is byte-identical."""

@@ -1,5 +1,7 @@
 """Unit tests for ordered Gibbs sampling over MRSL models."""
 
+from itertools import product
+
 import numpy as np
 import pytest
 
@@ -7,6 +9,7 @@ from repro.bayesnet import forward_sample_relation, make_network
 from repro.bench.metrics import true_joint_posterior
 from repro.core import GibbsSampler, estimate_joint, learn_mrsl
 from repro.core.gibbs import samples_to_distribution
+from repro.probdb.distribution import DEFAULT_SMOOTHING_FLOOR, Distribution
 from repro.relational import make_tuple
 
 
@@ -66,6 +69,29 @@ class TestChainMechanics:
             assert (probs > 0).all()
             assert probs.sum() == pytest.approx(1.0)
 
+    def test_naive_path_clamps_zero_cpds(self, bn8_setup):
+        """Regression: the strict-positivity invariant is now enforced.
+
+        Learned meta-rules are positive by construction, but hand-built or
+        mutated CPDs can carry exact zeros — which would freeze the chain
+        out of those states (Gibbs reducibility) and crash ``rng.choice``
+        on a zero-sum vector.  The naive path must clamp and renormalize.
+        """
+        net, schema, model = bn8_setup
+        # Corrupt every voter for attribute 0 with a point-mass CPD,
+        # simulating a hand-built model that bypassed MetaRule validation.
+        point_mass = np.array([1.0, 0.0])
+        for rule in model[0]:
+            rule.probs = point_mass
+        sampler = GibbsSampler(model, rng=0, engine="naive")
+        codes = np.array([0, 1, 0, 1], dtype=np.int32)
+        probs = sampler.conditional_probs(codes, 0)
+        assert (probs > 0).all()
+        assert probs.sum() == pytest.approx(1.0)
+        # [1, 0] clamps to [1, floor] and renormalizes.
+        expected = DEFAULT_SMOOTHING_FLOOR / (1.0 + DEFAULT_SMOOTHING_FLOOR)
+        assert probs[1] == pytest.approx(expected)
+
 
 class TestSamplesToDistribution:
     def test_dense_space_covers_all_outcomes(self, fig1_schema):
@@ -86,6 +112,86 @@ class TestSamplesToDistribution:
         base = make_tuple(fig1_schema, {"age": "20", "edu": "HS", "nw": "500K"})
         dist = samples_to_distribution(fig1_schema, base, [(1,)])
         assert dist.top1() == ("100K",)
+
+    def test_ndarray_samples_equal_tuple_samples(self, fig1_schema):
+        base = make_tuple(fig1_schema, {"age": "20", "edu": "HS"})
+        samples = [(0, 0), (1, 1), (0, 1), (0, 0), (1, 0)]
+        a = samples_to_distribution(fig1_schema, base, samples)
+        b = samples_to_distribution(
+            fig1_schema, base, np.array(samples, dtype=np.int32)
+        )
+        assert a.outcomes == b.outcomes
+        assert (a.probs == b.probs).all()
+
+    def test_sample_shape_validated(self, fig1_schema):
+        base = make_tuple(fig1_schema, {"age": "20", "edu": "HS"})
+        with pytest.raises(ValueError, match="missing"):
+            samples_to_distribution(fig1_schema, base, [(0,)])
+
+
+def _reference_samples_to_distribution(schema, base, samples, floor):
+    """The historical Python counting loop, kept verbatim as the oracle."""
+    missing = base.missing_positions
+    domains = [schema[attr].domain for attr in missing]
+    space = 1
+    for d in domains:
+        space *= len(d)
+    counts = {}
+    for sample in samples:
+        counts[sample] = counts.get(sample, 0) + 1
+    n = len(samples)
+    if space <= 100_000:
+        outcomes, probs = [], []
+        for combo in product(*(range(len(d)) for d in domains)):
+            outcomes.append(tuple(d[c] for d, c in zip(domains, combo)))
+            probs.append(counts.get(combo, 0) / n)
+        return Distribution(outcomes, np.maximum(probs, floor))
+    outcomes = [
+        tuple(d[c] for d, c in zip(domains, combo)) for combo in counts
+    ]
+    return Distribution(outcomes, [c / n for c in counts.values()])
+
+
+class TestVectorizedCounting:
+    """`np.unique` counting is bit-identical to the historical dict loop."""
+
+    def test_dense_space_bit_identical(self, fig1_schema, rng):
+        base = make_tuple(fig1_schema, {"age": "20"})
+        m = len(base.missing_positions)
+        cards = [
+            fig1_schema[p].cardinality for p in base.missing_positions
+        ]
+        samples = [
+            tuple(int(rng.integers(c)) for c in cards) for _ in range(500)
+        ]
+        got = samples_to_distribution(fig1_schema, base, samples)
+        want = _reference_samples_to_distribution(
+            fig1_schema, base, samples, DEFAULT_SMOOTHING_FLOOR
+        )
+        assert got.outcomes == want.outcomes
+        assert (np.asarray(got.probs) == np.asarray(want.probs)).all()
+        assert m == 3  # sanity: age known, three missing
+
+    def test_sparse_space_bit_identical(self, rng):
+        """Outcome spaces past the dense cap keep first-occurrence order."""
+        from repro.relational import Schema
+
+        # 12 attributes of cardinality 4 -> 4^11 >> MAX_DENSE_OUTCOMES
+        # missing combinations once one attribute is known.
+        schema = Schema.from_domains(
+            {f"a{i}": [f"v{j}" for j in range(4)] for i in range(12)}
+        )
+        base = make_tuple(schema, {"a0": "v0"})
+        samples = [
+            tuple(int(rng.integers(4)) for _ in range(11)) for _ in range(200)
+        ]
+        samples += samples[:40]  # duplicates exercise the counting
+        got = samples_to_distribution(schema, base, samples)
+        want = _reference_samples_to_distribution(
+            schema, base, samples, DEFAULT_SMOOTHING_FLOOR
+        )
+        assert got.outcomes == want.outcomes
+        assert (np.asarray(got.probs) == np.asarray(want.probs)).all()
 
 
 class TestConvergence:

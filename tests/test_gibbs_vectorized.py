@@ -1,0 +1,472 @@
+"""The vectorized multi-chain Gibbs kernel: equivalence and determinism.
+
+Three layers of guarantees:
+
+* ``BatchInferenceEngine.conditional_probs_batch`` is bit-identical to the
+  scalar ``conditional_probs`` row by row (they share the same LRU
+  entries).
+* A one-tuple, one-chain :class:`~repro.core.gibbs.GibbsEnsemble` consumes
+  the same RNG stream as the scalar :class:`~repro.core.gibbs.GibbsChain`
+  and emits identical samples under the same seed; multi-chain /
+  multi-tuple ensembles draw in a different (equally admissible) order and
+  are checked for KL-closeness against the scalar sampler and the exact
+  posterior instead.
+* Derivations running the vectorized kernel stay bit-identical across
+  executors and worker counts — the PR 3 guarantee extends to the new
+  kernel because multi-shard batching never depends on the pool size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.config import DeriveConfig
+from repro.api.service import DeriveRequest
+from repro.bayesnet import forward_sample_relation, make_network
+from repro.bench.metrics import true_joint_posterior
+from repro.cli import build_parser, config_from_args
+from repro.core import (
+    BatchInferenceEngine,
+    GibbsSampler,
+    derive_probabilistic_database,
+    ensemble_sampling,
+    learn_mrsl,
+    workload_sampling,
+)
+from repro.exec.plan import MULTI_TUPLES_PER_SHARD, plan_shards
+from repro.relational import Relation, make_tuple
+
+
+@pytest.fixture(scope="module")
+def bn8_setup():
+    rng = np.random.default_rng(42)
+    net = make_network("BN8", rng)
+    data = forward_sample_relation(net, 6000, rng)
+    model = learn_mrsl(data, support_threshold=0.005).model
+    return net, data.schema, model
+
+
+# -- batched conditional CPDs --------------------------------------------------
+
+
+class TestConditionalProbsBatch:
+    def test_rows_bit_identical_to_scalar(self, bn8_setup):
+        net, schema, model = bn8_setup
+        engine = BatchInferenceEngine(model)
+        rng = np.random.default_rng(0)
+        states = rng.integers(0, 2, size=(64, 4)).astype(np.int32)
+        for attr in range(4):
+            batch = engine.conditional_probs_batch(states, attr)
+            assert batch.shape == (64, schema[attr].cardinality)
+            for i in range(states.shape[0]):
+                scalar = engine.conditional_probs(states[i], attr)
+                assert (batch[i] == scalar).all()
+
+    def test_shares_the_scalar_lru_entries(self, bn8_setup):
+        net, schema, model = bn8_setup
+        engine = BatchInferenceEngine(model)
+        states = np.zeros((8, 4), dtype=np.int32)
+        engine.conditional_probs(states[0], 1)
+        before = engine.cache.misses
+        engine.conditional_probs_batch(states, 1)
+        # All eight rows share the signature already cached by the scalar
+        # call: no new miss.
+        assert engine.cache.misses == before
+
+    def test_empty_batch(self, bn8_setup):
+        net, schema, model = bn8_setup
+        engine = BatchInferenceEngine(model)
+        out = engine.conditional_probs_batch(
+            np.empty((0, 4), dtype=np.int32), 0
+        )
+        assert out.shape == (0, schema[0].cardinality)
+
+    def test_unpackable_signature_space_falls_back(self, bn8_setup):
+        """When the packed signature space would overflow int64 the
+        grouping falls back to row-wise unique with identical results."""
+        net, schema, model = bn8_setup
+        engine = BatchInferenceEngine(model)
+        rng = np.random.default_rng(3)
+        states = rng.integers(0, 2, size=(48, 4)).astype(np.int32)
+        packed = engine.conditional_probs_batch(states, 1)
+        engine._sig_packers = dict.fromkeys(range(4))  # force the fallback
+        engine.cache.clear()
+        fallback = engine.conditional_probs_batch(states, 1)
+        assert (packed == fallback).all()
+
+    def test_counters_track_batches(self, bn8_setup):
+        net, schema, model = bn8_setup
+        engine = BatchInferenceEngine(model)
+        rng = np.random.default_rng(1)
+        states = rng.integers(0, 2, size=(32, 4)).astype(np.int32)
+        engine.conditional_probs_batch(states, 2)
+        assert engine.tuples_served == 32
+        assert engine.groups_computed >= 1
+
+
+# -- scalar vs vectorized chains -------------------------------------------------
+
+
+class TestEnsembleEquivalence:
+    def test_single_chain_same_seed_identical_samples(self, bn8_setup):
+        """One tuple, one chain: the ensemble replays the scalar stream."""
+        net, schema, model = bn8_setup
+        t = make_tuple(schema, {"x0": "v1", "x1": "v0"})
+
+        scalar_sampler = GibbsSampler(model, rng=np.random.default_rng(7))
+        chain = scalar_sampler.chain(t)
+        chain.run_burn_in(25)
+        scalar = [chain.step() for _ in range(120)]
+
+        vector_sampler = GibbsSampler(model, rng=np.random.default_rng(7))
+        ensemble = vector_sampler.ensemble([t], chains=1)
+        (samples,) = ensemble.run(120, burn_in=25)
+        assert scalar == [tuple(int(v) for v in row) for row in samples]
+
+    def test_ensemble_sampling_matches_workload_sampling_single_tuple(
+        self, bn8_setup
+    ):
+        """Whole-pipeline single-tuple parity: identical distributions."""
+        net, schema, model = bn8_setup
+        t = make_tuple(schema, {"x0": "v0", "x1": "v1"})
+        vec, _ = ensemble_sampling(
+            model, [t], num_samples=150, burn_in=20, rng=11
+        )
+        scal, _ = workload_sampling(
+            model, [t], num_samples=150, burn_in=20, rng=11
+        )
+        assert vec[0].distribution.outcomes == scal[0].distribution.outcomes
+        assert (
+            np.asarray(vec[0].distribution.probs)
+            == np.asarray(scal[0].distribution.probs)
+        ).all()
+
+    def test_multi_tuple_ensemble_kl_close(self, bn8_setup):
+        """Ensembles draw differently but estimate the same joints."""
+        net, schema, model = bn8_setup
+        tuples = [
+            make_tuple(schema, {"x0": "v0", "x1": "v1"}),
+            make_tuple(schema, {"x0": "v1", "x3": "v0"}),
+            make_tuple(schema, {"x2": "v1"}),
+        ]
+        vec, _ = ensemble_sampling(
+            model, tuples, num_samples=3000, burn_in=200, chains=4, rng=1
+        )
+        scal, _ = workload_sampling(
+            model, tuples, num_samples=3000, burn_in=200, rng=1
+        )
+        for bv, bs in zip(vec, scal):
+            kl = bs.distribution.kl_divergence(bv.distribution)
+            assert kl < 0.05, f"vectorized joint drifted: KL={kl}"
+
+    def test_ensemble_tracks_true_posterior(self, bn8_setup):
+        """Multi-chain pooling converges on the exact BN posterior."""
+        net, schema, model = bn8_setup
+        t = make_tuple(schema, {"x0": "v0", "x1": "v1"})
+        blocks, _ = ensemble_sampling(
+            model, [t], num_samples=3000, burn_in=200, chains=4, rng=2
+        )
+        true = true_joint_posterior(net, t)
+        kl = true.kl_divergence(blocks[0].distribution)
+        assert kl < 0.12, f"KL {kl} too large: ensemble not converging"
+
+    def test_duplicates_share_blocks(self, bn8_setup):
+        net, schema, model = bn8_setup
+        t = make_tuple(schema, {"x0": "v0"})
+        blocks, _ = ensemble_sampling(
+            model, [t, t], num_samples=50, burn_in=5, rng=0
+        )
+        assert blocks[0] is blocks[1]
+
+    def test_chains_pool_into_the_sample_budget(self, bn8_setup):
+        net, schema, model = bn8_setup
+        t = make_tuple(schema, {"x0": "v0"})
+        for chains in (1, 3, 4):
+            blocks, stats = ensemble_sampling(
+                model, [t], num_samples=100, burn_in=10, chains=chains, rng=0
+            )
+            # ceil(100 / chains) recorded sweeps plus burn-in, per chain.
+            sweeps = -(-100 // chains)
+            assert stats.total_draws == (10 + sweeps) * chains
+            assert stats.burn_in_draws == 10 * chains
+            assert stats.shared_tuples == 0
+            assert sum(
+                1 for _ in blocks[0].distribution.outcomes
+            ) == len(blocks[0].distribution)
+
+    def test_ensemble_requires_compiled_engine(self, bn8_setup):
+        net, schema, model = bn8_setup
+        sampler = GibbsSampler(model, rng=0, engine="naive")
+        t = make_tuple(schema, {"x0": "v0"})
+        with pytest.raises(ValueError, match="compiled"):
+            sampler.ensemble([t])
+
+    def test_ensemble_rejects_bad_inputs(self, bn8_setup):
+        net, schema, model = bn8_setup
+        sampler = GibbsSampler(model, rng=0)
+        t = make_tuple(schema, {"x0": "v0"})
+        complete = make_tuple(schema, ["v0"] * 4)
+        with pytest.raises(ValueError, match="incomplete"):
+            sampler.ensemble([complete])
+        with pytest.raises(ValueError, match="distinct"):
+            sampler.ensemble([t, t])
+        with pytest.raises(ValueError, match="chains"):
+            sampler.ensemble([t], chains=0)
+        with pytest.raises(ValueError, match="at least one"):
+            sampler.ensemble([])
+
+    def test_warm_engine_reuse_is_transparent(self, bn8_setup):
+        """A caller's warm engine changes cost, never results."""
+        net, schema, model = bn8_setup
+        tuples = [
+            make_tuple(schema, {"x0": "v0", "x1": "v1"}),
+            make_tuple(schema, {"x2": "v0"}),
+        ]
+        warm = BatchInferenceEngine(model)
+        a, _ = ensemble_sampling(
+            model, tuples, num_samples=80, burn_in=10, rng=4, batch_engine=warm
+        )
+        b, _ = ensemble_sampling(model, tuples, num_samples=80, burn_in=10, rng=4)
+        for ba, bb in zip(a, b):
+            assert ba.distribution.outcomes == bb.distribution.outcomes
+            assert (
+                np.asarray(ba.distribution.probs)
+                == np.asarray(bb.distribution.probs)
+            ).all()
+
+    def test_warm_engine_must_wrap_the_same_model(self, bn8_setup):
+        net, schema, model = bn8_setup
+        rng = np.random.default_rng(0)
+        other = learn_mrsl(
+            forward_sample_relation(net, 500, rng), support_threshold=0.01
+        ).model
+        with pytest.raises(ValueError, match="different model"):
+            GibbsSampler(model, batch_engine=BatchInferenceEngine(other))
+
+
+# -- planner batching -------------------------------------------------------------
+
+
+class TestMultiShardBatching:
+    def _multi_workload(self, fig1_relation):
+        return [
+            t for t in fig1_relation.incomplete_part() if t.num_missing > 1
+        ]
+
+    def test_components_pack_into_batches(self, fig1_relation):
+        model = learn_mrsl(fig1_relation, support_threshold=0.1).model
+        multi = self._multi_workload(fig1_relation)
+        scalar_plan = plan_shards(multi, model, seed=3)
+        packed_plan = plan_shards(multi, model, seed=3, multi_batch=128)
+        assert len(scalar_plan.multi_shards) > 1
+        assert len(packed_plan.multi_shards) == 1
+        assert sum(len(s) for s in packed_plan.multi_shards) == len(multi)
+
+    def test_batching_is_worker_count_independent(self, fig1_relation):
+        model = learn_mrsl(fig1_relation, support_threshold=0.1).model
+        multi = self._multi_workload(fig1_relation)
+        plans = [
+            plan_shards(multi, model, workers=w, seed=5, multi_batch=2)
+            for w in (1, 2, 8)
+        ]
+        keyed = [
+            sorted((s.key, s.seed) for s in p.multi_shards) for p in plans
+        ]
+        assert keyed[0] == keyed[1] == keyed[2]
+
+    def test_oversized_component_is_split(self, fig1_schema):
+        """Components bigger than the batch target split: the ensemble
+        shares nothing across tuples, so splitting costs nothing and keeps
+        shard sizes (hence worker load) bounded."""
+        # <20,?,?,?> subsumes the other two: one 3-tuple component.
+        tuples = [
+            make_tuple(fig1_schema, {"age": "20", "edu": "HS"}),
+            make_tuple(fig1_schema, {"age": "20", "edu": "BS"}),
+            make_tuple(fig1_schema, {"age": "20"}),
+        ]
+        model = learn_mrsl(
+            Relation(fig1_schema, []), support_threshold=0.99
+        ).model
+        plan = plan_shards(tuples, model, seed=0, multi_batch=2)
+        assert [s.groups for s in plan.multi_shards] == [2, 1]
+        assert sorted(
+            i for s in plan.multi_shards for i in s.indices
+        ) == [0, 1, 2]
+
+    def test_duplicates_stay_in_one_shard(self, fig1_schema):
+        """Duplicate workload entries share a shard (hence a block) even
+        when re-batching splits their component."""
+        a = make_tuple(fig1_schema, {"age": "20", "edu": "HS"})
+        b = make_tuple(fig1_schema, {"age": "20", "edu": "BS"})
+        c = make_tuple(fig1_schema, {"age": "20"})
+        model = learn_mrsl(
+            Relation(fig1_schema, []), support_threshold=0.99
+        ).model
+        plan = plan_shards([a, b, c, a], model, seed=0, multi_batch=2)
+        for shard in plan.multi_shards:
+            count = sum(1 for t in shard.tuples if t == a)
+            assert count in (0, 2)
+
+    def test_derive_plans_batched_multi_shards(self, fig1_relation):
+        vec = derive_probabilistic_database(
+            fig1_relation, support_threshold=0.1, num_samples=40,
+            burn_in=5, rng=3,
+        )
+        scal = derive_probabilistic_database(
+            fig1_relation, support_threshold=0.1, num_samples=40,
+            burn_in=5, rng=3, gibbs_vectorized=False,
+        )
+        def multis(result):
+            return [
+                t for t in result.exec_report.timings if t.kind == "multi"
+            ]
+
+        assert len(multis(vec)) < len(multis(scal))
+        assert MULTI_TUPLES_PER_SHARD >= sum(t.groups for t in multis(vec))
+
+
+# -- executor / worker-count determinism for the new kernel -----------------------
+
+
+def _assert_identical(a, b):
+    assert len(a.blocks) == len(b.blocks)
+    for ba, bb in zip(a.blocks, b.blocks):
+        assert ba.base == bb.base
+        assert ba.distribution.outcomes == bb.distribution.outcomes
+        assert (
+            np.asarray(ba.distribution.probs)
+            == np.asarray(bb.distribution.probs)
+        ).all()
+
+
+class TestVectorizedDeterminism:
+    CFG = dict(support_threshold=0.1, num_samples=60, burn_in=10, seed=17)
+
+    def test_bit_identical_across_executors_and_workers(self, fig1_relation):
+        base = DeriveConfig(gibbs_chains=3, **self.CFG)
+        baseline = derive_probabilistic_database(fig1_relation, config=base)
+        for executor, workers in (
+            ("serial", 1),
+            ("thread", 2),
+            ("thread", 4),
+            ("process", 2),
+        ):
+            cfg = base.replacing(executor=executor, workers=workers)
+            run = derive_probabilistic_database(fig1_relation, config=cfg)
+            _assert_identical(baseline.database, run.database)
+
+    def test_vectorized_and_scalar_disagree_on_samples(self, fig1_relation):
+        """The kernels are different admissible samplers, not one sampler."""
+        vec = derive_probabilistic_database(
+            fig1_relation, config=DeriveConfig(**self.CFG)
+        )
+        scal = derive_probabilistic_database(
+            fig1_relation,
+            config=DeriveConfig(gibbs_vectorized=False, **self.CFG),
+        )
+        same = all(
+            ba.distribution.outcomes == bb.distribution.outcomes
+            and (
+                np.asarray(ba.distribution.probs)
+                == np.asarray(bb.distribution.probs)
+            ).all()
+            for ba, bb in zip(vec.database.blocks, scal.database.blocks)
+            if ba.base.num_missing > 1
+        )
+        assert not same
+
+    def test_scalar_oracle_unchanged_by_the_knobs(self, fig1_relation):
+        """`gibbs_vectorized=False` reproduces the pre-kernel pipeline:
+        gibbs_chains has no effect on the scalar path."""
+        a = derive_probabilistic_database(
+            fig1_relation,
+            config=DeriveConfig(gibbs_vectorized=False, **self.CFG),
+        )
+        b = derive_probabilistic_database(
+            fig1_relation,
+            config=DeriveConfig(
+                gibbs_vectorized=False, gibbs_chains=5, **self.CFG
+            ),
+        )
+        _assert_identical(a.database, b.database)
+
+    def test_ablation_strategies_stay_scalar(self, fig1_relation):
+        """Non-default strategies keep their faithful scalar kernels.
+
+        (``all_at_a_time`` is excluded: the bounded unclamped chain can
+        legitimately run out of draws on tiny workloads, which is the
+        strawman's point, not a kernel property.)
+        """
+        cfg = DeriveConfig(strategy="tuple_at_a_time", **self.CFG)
+        on = derive_probabilistic_database(fig1_relation, config=cfg)
+        off = derive_probabilistic_database(
+            fig1_relation,
+            config=cfg.replacing(gibbs_vectorized=False),
+        )
+        _assert_identical(on.database, off.database)
+
+
+# -- knob plumbing -----------------------------------------------------------------
+
+
+class TestKnobPlumbing:
+    def test_config_validates_gibbs_chains(self):
+        with pytest.raises(ValueError, match="gibbs_chains"):
+            DeriveConfig(gibbs_chains=0)
+
+    def test_config_rejects_string_gibbs_vectorized(self):
+        """bool("off") is True — strings must be rejected, not coerced."""
+        for bad in ("off", "on", "false", 0):
+            with pytest.raises(ValueError, match="gibbs_vectorized"):
+                DeriveConfig(gibbs_vectorized=bad)
+
+    def test_derive_request_rejects_string_gibbs_vectorized(self):
+        from repro.api.service import ServiceError
+
+        with pytest.raises(ServiceError, match="gibbs_vectorized"):
+            DeriveRequest.from_dict(
+                {"rows": [], "gibbs_vectorized": "off"}
+            )
+
+    def test_config_round_trips_the_knobs(self):
+        cfg = DeriveConfig(gibbs_chains=4, gibbs_vectorized=False)
+        again = DeriveConfig.from_dict(cfg.to_dict())
+        assert again.gibbs_chains == 4
+        assert again.gibbs_vectorized is False
+
+    def test_cli_flags_reach_the_config(self):
+        args = build_parser().parse_args(
+            ["derive", "data.csv", "--gibbs-chains", "4",
+             "--gibbs-vectorized", "off"]
+        )
+        cfg = config_from_args(args)
+        assert cfg.gibbs_chains == 4
+        assert cfg.gibbs_vectorized is False
+
+    def test_cli_defaults_match_config_defaults(self):
+        args = build_parser().parse_args(["derive", "data.csv"])
+        cfg = config_from_args(args)
+        assert cfg.gibbs_chains == DeriveConfig().gibbs_chains
+        assert cfg.gibbs_vectorized is DeriveConfig().gibbs_vectorized
+
+    def test_derive_request_round_trips_the_knobs(self):
+        req = DeriveRequest(
+            rows=(("a", "?"),), gibbs_chains=2, gibbs_vectorized=False
+        )
+        again = DeriveRequest.from_dict(req.to_dict())
+        assert again == req
+        assert DeriveRequest.from_dict({"rows": []}).gibbs_chains is None
+
+    def test_session_derive_accepts_the_knobs(self, fig1_relation):
+        from repro.api.session import Session
+
+        session = Session(
+            DeriveConfig(support_threshold=0.1, num_samples=40, burn_in=5,
+                         seed=9)
+        )
+        a = session.derive(fig1_relation, gibbs_chains=2)
+        b = session.derive(
+            fig1_relation, config={"gibbs_chains": 2}
+        )
+        _assert_identical(a.database, b.database)
+        off = session.derive(fig1_relation, gibbs_vectorized=False)
+        assert len(off.database.blocks) == len(a.database.blocks)
