@@ -55,6 +55,14 @@ class DeriveConfig:
     tuple in the ensemble and pools their draws into the same
     ``num_samples`` budget — more starting points, better mixing, at
     effectively the same wall-clock.
+
+    ``trust`` and ``update_policy`` govern base-table updates
+    (``Session.apply_updates`` / ``repro update``): ``trust`` is the
+    ordered source-priority list resolving conflicting ChangeSet writes to
+    the same cell (earlier ids are trusted more, unlisted sources rank
+    last), and ``update_policy`` picks incremental re-derivation
+    (``"delta"``, the default — untouched blocks carry over verbatim) or a
+    from-scratch re-derive (``"full"``).
     """
 
     support_threshold: float = 0.01
@@ -70,6 +78,8 @@ class DeriveConfig:
     workers: int = DEFAULT_WORKERS
     gibbs_chains: int = 1
     gibbs_vectorized: bool = True
+    trust: tuple[str, ...] = ()
+    update_policy: str = "delta"
 
     def __post_init__(self) -> None:
         set_ = object.__setattr__  # frozen dataclass: normalize in place
@@ -108,6 +118,16 @@ class DeriveConfig:
         if self.strategy not in STRATEGIES:
             raise ValueError(
                 f"strategy must be one of {STRATEGIES}, got {self.strategy!r}"
+            )
+        if isinstance(self.trust, str):
+            raise ValueError(
+                "trust must be a sequence of source ids, not a bare string"
+            )
+        set_(self, "trust", tuple(str(s) for s in self.trust))
+        if self.update_policy not in ("delta", "full"):
+            raise ValueError(
+                f"update_policy must be 'delta' or 'full', "
+                f"got {self.update_policy!r}"
             )
 
     @property

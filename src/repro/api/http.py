@@ -10,6 +10,8 @@ Routes::
     POST /v1/learn                  LearnRequest   -> LearnResponse
     POST /v1/derive                 DeriveRequest  -> DeriveResponse
     POST /v1/derive?mode=async      DeriveRequest  -> {"job_id", "state"}
+    POST /v1/update                 UpdateRequest  -> UpdateResponse
+    POST /v1/update?mode=async      UpdateRequest  -> {"job_id", "state"}
     POST /v1/infer                  InferRequest   -> InferResponse
     POST /v1/query                  QueryRequest   -> QueryResponse
     GET  /v1/jobs/{id}              job status + shard-aware progress
@@ -217,12 +219,12 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 )
             endpoint = segments[0]
             mode = query.get("mode")
-            if endpoint == "derive" and mode is not None:
+            if endpoint in ("derive", "update") and mode is not None:
                 if mode != "async":
                     raise ServiceError(
                         f"unknown mode {mode!r}; the only mode is 'async'"
                     )
-                endpoint = "derive_async"
+                endpoint = f"{endpoint}_async"
             payload = self._parse_json(raw)
             self._respond(200, self.service.handle_json(endpoint, payload))
         except ServiceError as exc:

@@ -1,9 +1,9 @@
 """Typed request/response service layer: the JSON wire format.
 
 :class:`InferenceService` wraps one :class:`~repro.api.session.Session` and
-exposes four endpoints — ``learn``, ``derive``, ``infer``, ``query`` — each
-with a frozen request/response dataclass pair that round-trips through plain
-JSON.  :meth:`InferenceService.handle_json` is the transport-agnostic
+exposes five endpoints — ``learn``, ``derive``, ``update``, ``infer``,
+``query`` — each with a frozen request/response dataclass pair that
+round-trips through plain JSON.  :meth:`InferenceService.handle_json` is the transport-agnostic
 dispatch used by the stdlib HTTP front-end (:mod:`repro.api.http`) and by
 tests that drive the wire format in-process.
 
@@ -25,6 +25,7 @@ from ..jobs.progress import ProgressSnapshot
 from ..relational.relation import Relation
 from ..relational.schema import Attribute, Schema
 from ..relational.tuples import RelTuple
+from ..relational.updates import ChangeSet
 from .query import query_from_dict
 from .session import DEFAULT_NAME, Session, SessionError
 
@@ -39,6 +40,8 @@ __all__ = [
     "InferResponse",
     "QueryRequest",
     "QueryResponse",
+    "UpdateRequest",
+    "UpdateResponse",
     "InferenceService",
 ]
 
@@ -257,6 +260,103 @@ class AsyncDeriveResponse:
         return {"job_id": self.job_id, "state": self.state}
 
 
+# -- update ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """Apply a ChangeSet to a derived database's base table and re-derive.
+
+    ``changes`` is the ChangeSet wire form (``{"ops": [...]}``; see
+    ``docs/updates.md``).  ``config`` partially overrides the session
+    config for this call — notably ``trust`` (source priority order for
+    conflicting writes) and ``update_policy`` (``"delta"`` re-derives only
+    dirty shards, ``"full"`` everything).  ``include_blocks`` defaults to
+    False: update responses report counts and carried-over statistics, the
+    blocks are queryable in place.
+    """
+
+    changes: Mapping[str, Any]
+    name: str = DEFAULT_NAME
+    config: Mapping[str, Any] | None = None
+    include_blocks: bool = False
+    executor: str | None = None
+    workers: int | None = None
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "UpdateRequest":
+        return cls(
+            changes=dict(_require(payload, "changes")),
+            name=payload.get("name", DEFAULT_NAME),
+            config=payload.get("config"),
+            include_blocks=bool(payload.get("include_blocks", False)),
+            executor=payload.get("executor"),
+            workers=(
+                None if payload.get("workers") is None
+                else int(payload["workers"])
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "changes": dict(self.changes),
+            "name": self.name,
+            "config": None if self.config is None else dict(self.config),
+            "include_blocks": self.include_blocks,
+            "executor": self.executor,
+            "workers": self.workers,
+        }
+
+
+@dataclass(frozen=True)
+class UpdateResponse:
+    """What the update applied, resolved, and re-derived.
+
+    ``applied`` summarizes the relational outcome (rows updated / retracted
+    / inserted and the conflict list with trust winners and ties);
+    ``carried_over``/``carried_tuples`` count the shards the delta path
+    served from the previous derivation, ``executed_shards`` the shards
+    that actually ran.
+    """
+
+    name: str
+    policy: str
+    num_certain: int
+    num_blocks: int
+    applied: Mapping[str, Any]
+    carried_over: int = 0
+    carried_tuples: int = 0
+    executed_shards: int = 0
+    blocks: tuple[dict[str, Any], ...] = ()
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "UpdateResponse":
+        return cls(
+            name=_require(payload, "name"),
+            policy=_require(payload, "policy"),
+            num_certain=int(_require(payload, "num_certain")),
+            num_blocks=int(_require(payload, "num_blocks")),
+            applied=dict(_require(payload, "applied")),
+            carried_over=int(payload.get("carried_over", 0)),
+            carried_tuples=int(payload.get("carried_tuples", 0)),
+            executed_shards=int(payload.get("executed_shards", 0)),
+            blocks=tuple(payload.get("blocks", ())),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "policy": self.policy,
+            "num_certain": self.num_certain,
+            "num_blocks": self.num_blocks,
+            "applied": dict(self.applied),
+            "carried_over": self.carried_over,
+            "carried_tuples": self.carried_tuples,
+            "executed_shards": self.executed_shards,
+            "blocks": list(self.blocks),
+        }
+
+
 # -- infer ----------------------------------------------------------------
 
 
@@ -429,7 +529,86 @@ class InferenceService:
             blocks=blocks,
         )
 
+    def update(
+        self,
+        request: UpdateRequest,
+        progress: Callable[[ProgressSnapshot], None] | Any = None,
+        cancel: Callable[[], bool] | None = None,
+    ) -> UpdateResponse:
+        """``POST /v1/update``: apply a ChangeSet and re-derive in place."""
+        try:
+            changeset = ChangeSet.from_dict(request.changes)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"bad ChangeSet: {exc}") from exc
+        with self._session_lock:
+            update = self.session.apply_updates(
+                changeset,
+                name=request.name,
+                config=request.config,
+                executor=request.executor,
+                workers=request.workers,
+                progress=progress,
+                cancel=cancel,
+            )
+        db = update.result.database
+        report = update.result.exec_report
+        blocks: tuple[dict[str, Any], ...] = ()
+        if request.include_blocks:
+            blocks = tuple(
+                {
+                    "id": i,
+                    "base": list(block.base.values()),
+                    "completions": [
+                        {"values": list(completed.values()), "prob": float(p)}
+                        for completed, p in block.completions()
+                    ],
+                }
+                for i, block in enumerate(db.blocks)
+            )
+        return UpdateResponse(
+            name=update.name,
+            policy=update.policy,
+            num_certain=len(db.certain),
+            num_blocks=len(db.blocks),
+            applied=update.outcome.to_dict(),
+            carried_over=0 if report is None else report.carried_over,
+            carried_tuples=0 if report is None else report.carried_tuples,
+            executed_shards=0 if report is None else report.num_shards,
+            blocks=blocks,
+        )
+
     # -- async jobs --------------------------------------------------------
+
+    def update_async(self, request: UpdateRequest) -> AsyncDeriveResponse:
+        """Submit an update as a background job; returns immediately.
+
+        Like ``derive_async``, bad requests fail fast: an unknown database
+        name or a malformed ChangeSet is a synchronous 4xx, never a failed
+        job.  The job result is the blocking endpoint's
+        :class:`UpdateResponse` payload; progress, ETA, and cancellation
+        work through the standard ``/v1/jobs`` endpoints.
+        """
+        if request.name not in self.session.databases:
+            raise ServiceError(
+                f"no derived database {request.name!r}; "
+                f"derived: {list(self.session.databases)}",
+                status=404,
+            )
+        try:
+            ChangeSet.from_dict(request.changes)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"bad ChangeSet: {exc}") from exc
+        workers = self.session.effective_config(
+            request.config, executor=request.executor, workers=request.workers
+        ).parallelism
+
+        def work(job: Job) -> dict[str, Any]:
+            return self.update(
+                request, progress=job.tracker, cancel=job.should_stop
+            ).to_dict()
+
+        job = self.jobs.submit(work, label="update", workers=workers)
+        return AsyncDeriveResponse(job_id=job.id, state=job.state)
 
     def derive_async(self, request: DeriveRequest) -> AsyncDeriveResponse:
         """Submit a derive as a background job; returns immediately.
@@ -550,6 +729,8 @@ class InferenceService:
         "learn": (LearnRequest, "learn"),
         "derive": (DeriveRequest, "derive"),
         "derive_async": (DeriveRequest, "derive_async"),
+        "update": (UpdateRequest, "update"),
+        "update_async": (UpdateRequest, "update_async"),
         "infer": (InferRequest, "infer"),
         "query": (QueryRequest, "query"),
     }

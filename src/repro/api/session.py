@@ -19,6 +19,7 @@ learning step and the on-line serving step can live in different processes.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping
 
@@ -34,12 +35,13 @@ from ..jobs.progress import ProgressSnapshot, ProgressTracker
 from ..probdb.database import ProbabilisticDatabase
 from ..probdb.distribution import Distribution
 from ..probdb.engine import QueryEngine, ResultTuple
-from ..relational.relation import Relation
+from ..relational.relation import ApplyOutcome, Relation
 from ..relational.tuples import RelTuple
+from ..relational.updates import ChangeSet
 from .config import DeriveConfig, resolve_config
 from .query import Predicate, QuerySpec, SelectionQuery, query_from_dict
 
-__all__ = ["DEFAULT_NAME", "Session", "SessionError"]
+__all__ = ["DEFAULT_NAME", "Session", "SessionError", "UpdateResult"]
 
 #: Registry key used when the caller does not name a model or database.
 DEFAULT_NAME = "default"
@@ -47,6 +49,31 @@ DEFAULT_NAME = "default"
 
 class SessionError(LookupError):
     """An unknown model or database name was referenced."""
+
+
+@dataclass
+class UpdateResult:
+    """What one :meth:`Session.apply_updates` call did.
+
+    ``outcome`` is the relational-level application record (rows touched,
+    conflicts, ties); ``result`` is the re-derived database now registered
+    under ``name``; ``policy`` says whether the delta or the full path
+    served it.
+    """
+
+    name: str
+    policy: str
+    outcome: ApplyOutcome
+    result: DeriveResult
+
+    @property
+    def conflicts(self):
+        return self.outcome.conflicts
+
+    @property
+    def carried_over(self) -> int:
+        report = self.result.exec_report
+        return 0 if report is None else report.carried_over
 
 
 class Session:
@@ -59,6 +86,7 @@ class Session:
         self._models: dict[str, MRSLModel] = {}
         self._engines: dict[str, BatchInferenceEngine] = {}
         self._results: dict[str, DeriveResult] = {}
+        self._relations: dict[str, Relation] = {}
 
     def _per_call_config(
         self, config: DeriveConfig | Mapping[str, Any] | None
@@ -237,7 +265,74 @@ class Session:
             should_stop=cancel,
         )
         self._results[name] = result
+        # Keep a private copy of the base table: apply_updates mutates it
+        # under ChangeSets without aliasing the caller's relation.
+        self._relations[name] = relation.copy()
         return result
+
+    def relation(self, name: str = DEFAULT_NAME) -> Relation:
+        """The session's copy of a derived database's base table."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SessionError(
+                f"no base relation for {name!r}; "
+                f"derived: {list(self.databases)}"
+            ) from None
+
+    def apply_updates(
+        self,
+        changeset: ChangeSet | Mapping[str, Any],
+        name: str = DEFAULT_NAME,
+        config: DeriveConfig | Mapping[str, Any] | None = None,
+        executor: str | None = None,
+        workers: int | None = None,
+        progress: (
+            ProgressTracker | Callable[[ProgressSnapshot], None] | None
+        ) = None,
+        cancel: Callable[[], bool] | None = None,
+    ) -> UpdateResult:
+        """Apply a ChangeSet to database ``name``'s base table and re-derive.
+
+        The session's stored base relation takes the ChangeSet (conflicting
+        writes resolved by ``config.trust``, ties applied first-writer-wins
+        and reported in the result), then the registered database re-derives
+        under ``config.update_policy``: ``"delta"`` carries every block whose
+        lineage the update did not touch over verbatim and executes only
+        dirty shards, ``"full"`` re-derives everything.  Both reuse the
+        model and the previous run's base seed, so they produce the same
+        database.  The update commits — relation, update log, and derived
+        result together — only after the re-derive completes; a cancelled
+        update leaves the session exactly as it was.
+        """
+        cfg = self.effective_config(config, executor=executor, workers=workers)
+        previous = self.result(name)
+        tracker = self._as_tracker(progress, cfg.parallelism)
+        working = self.relation(name).copy()
+        outcome = working.apply_changeset(changeset, trust=cfg.trust)
+        # Reuse the warm engine of whichever registered model served this
+        # database (the derive may have used a model name != database name).
+        model_name = next(
+            (k for k, m in self._models.items() if m is previous.model), None
+        )
+        result = derive_probabilistic_database(
+            working,
+            config=cfg,
+            model=previous.model,
+            batch_engine=None if model_name is None else self.engine(model_name),
+            previous=previous,
+            on_plan=None if tracker is None else tracker.on_plan,
+            on_shard=None if tracker is None else tracker.on_shard,
+            should_stop=cancel,
+        )
+        self._results[name] = result
+        self._relations[name] = working
+        return UpdateResult(
+            name=name,
+            policy=cfg.update_policy,
+            outcome=outcome,
+            result=result,
+        )
 
     @staticmethod
     def _as_tracker(

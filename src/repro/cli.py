@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro derive data.csv --support 0.01 --output blocks.csv
+    python -m repro update data.csv changes.json --output blocks.csv
     python -m repro inspect data.csv --support 0.01 --attribute age
     python -m repro learn data.csv --support 0.01 --model model.json
     python -m repro serve data.csv --port 8642
@@ -11,6 +12,13 @@ Usage::
 the MRSL model, infers a distribution for every incomplete tuple, and writes
 the probabilistic relation: one row per completion, with a ``block`` id and
 a ``prob`` column — the format of the paper's Fig. 1 call-out.
+
+``update`` derives the same way, then applies a ChangeSet JSON file
+(inserts/updates/retractions, each tagged with a source id) to the base
+table and re-derives incrementally: blocks whose lineage the ChangeSet did
+not touch are carried over verbatim, only dirty shards re-execute
+(``--policy full`` forces a from-scratch re-derive of the updated table;
+both policies produce the same database).
 
 ``serve`` starts the JSON inference service (:mod:`repro.api`) over stdlib
 HTTP, optionally deriving a database from a CSV at startup so queries can be
@@ -137,6 +145,44 @@ def build_parser() -> argparse.ArgumentParser:
         "(shards done, tuples completed, elapsed, ETA)",
     )
 
+    update = sub.add_parser(
+        "update",
+        help="apply a ChangeSet to the base table and re-derive incrementally",
+    )
+    common(update)
+    update.add_argument(
+        "changes", type=Path,
+        help="ChangeSet JSON: {\"ops\": [{\"op\": \"update\", \"index\": 3, "
+        "\"set\": {\"inc\": \"40K\"}, \"source\": \"hr\"}, ...]}",
+    )
+    pipeline(update)
+    update.add_argument(
+        "--trust", default=None,
+        help="comma-separated source ids, most trusted first; conflicting "
+        "cell writes resolve in this order (unlisted sources tie last)",
+    )
+    update.add_argument(
+        "--policy", choices=("delta", "full"), default=DEFAULTS.update_policy,
+        help="re-derive mode: 'delta' carries untouched blocks over and "
+        "executes only dirty shards, 'full' re-derives everything "
+        f"(default: {DEFAULTS.update_policy})",
+    )
+    update.add_argument(
+        "--output", type=Path, default=None,
+        help="output CSV of the updated probabilistic relation "
+        "(default: stdout)",
+    )
+    update.add_argument(
+        "--save-updated", type=Path, default=None,
+        help="also write the post-update base table as an incomplete CSV "
+        "(for audit, or to re-derive from scratch and compare)",
+    )
+    update.add_argument(
+        "--progress", action="store_true",
+        help="render a shard-progress bar on stderr during the re-derive "
+        "(carried-over shard counts included)",
+    )
+
     inspect = sub.add_parser("inspect", help="print a learned semi-lattice")
     common(inspect)
     inspect.add_argument(
@@ -172,7 +218,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def config_from_args(args: argparse.Namespace) -> DeriveConfig:
     """The :class:`DeriveConfig` an argparse namespace describes."""
+    trust = getattr(args, "trust", None)
     return DeriveConfig(
+        trust=(
+            () if trust is None
+            else tuple(s.strip() for s in trust.split(",") if s.strip())
+        ),
+        update_policy=getattr(args, "policy", DEFAULTS.update_policy),
         support_threshold=args.support,
         max_itemsets=args.max_itemsets,
         v_choice=getattr(args, "voters", DEFAULTS.v_choice),
@@ -217,6 +269,22 @@ class _ProgressBar:
             self.stream.flush()
 
 
+def _write_blocks(db, names, output: Path | None) -> None:
+    """Write a probabilistic database as the Fig. 1 block/prob CSV."""
+    out = output.open("w", newline="") if output else sys.stdout
+    try:
+        writer = csv.writer(out)
+        writer.writerow(("block", "prob") + names)
+        for t in db.certain:
+            writer.writerow(("-", "1.0") + t.values())
+        for i, block in enumerate(db.blocks):
+            for completed, prob in block.completions():
+                writer.writerow((str(i), f"{prob:.6g}") + completed.values())
+    finally:
+        if output:
+            out.close()
+
+
 def _cmd_derive(args: argparse.Namespace) -> int:
     relation = read_csv(args.input)
     config = config_from_args(args)
@@ -238,18 +306,7 @@ def _cmd_derive(args: argparse.Namespace) -> int:
         if bar is not None:
             bar.finish()
     db = result.database
-    out = args.output.open("w", newline="") if args.output else sys.stdout
-    try:
-        writer = csv.writer(out)
-        writer.writerow(("block", "prob") + relation.schema.names)
-        for t in db.certain:
-            writer.writerow(("-", "1.0") + t.values())
-        for i, block in enumerate(db.blocks):
-            for completed, prob in block.completions():
-                writer.writerow((str(i), f"{prob:.6g}") + completed.values())
-    finally:
-        if args.output:
-            out.close()
+    _write_blocks(db, relation.schema.names, args.output)
     print(
         f"derived {len(db.blocks)} blocks over {len(db.certain)} certain "
         f"tuples (model: {result.model.size()} meta-rules, "
@@ -258,6 +315,48 @@ def _cmd_derive(args: argparse.Namespace) -> int:
     )
     if result.exec_report is not None:
         print(result.exec_report.summary(), file=sys.stderr)
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    from .api.session import Session
+    from .relational.io import write_csv
+    from .relational.updates import ChangeSet
+
+    relation = read_csv(args.input)
+    changeset = ChangeSet.from_json(args.changes.read_text())
+    config = config_from_args(args)
+    session = Session(config)
+    bar = None
+    progress = None
+    if args.progress:
+        bar = _ProgressBar()
+        progress = lambda snapshot: bar(None, snapshot)  # noqa: E731
+    try:
+        session.derive(relation)
+        updated = session.apply_updates(changeset, progress=progress)
+    finally:
+        if bar is not None:
+            bar.finish()
+    outcome = updated.outcome
+    db = updated.result.database
+    _write_blocks(db, relation.schema.names, args.output)
+    if args.save_updated is not None:
+        write_csv(session.relation(), args.save_updated)
+    print(
+        f"applied {len(changeset.ops)} ops from {args.changes}: "
+        f"{len(outcome.updated)} updated, {len(outcome.retracted)} "
+        f"retracted, {len(outcome.inserted_tuples)} inserted "
+        f"({len(outcome.conflicts)} conflicts, {len(outcome.ties)} ties)",
+        file=sys.stderr,
+    )
+    print(
+        f"re-derived ({updated.policy}): {len(db.blocks)} blocks over "
+        f"{len(db.certain)} certain tuples",
+        file=sys.stderr,
+    )
+    if updated.result.exec_report is not None:
+        print(updated.result.exec_report.summary(), file=sys.stderr)
     return 0
 
 
@@ -344,6 +443,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "derive": _cmd_derive,
+        "update": _cmd_update,
         "inspect": _cmd_inspect,
         "learn": _cmd_learn,
         "model-info": _cmd_model_info,

@@ -33,7 +33,7 @@ from .gibbs import (
     estimate_joint,
     samples_to_distribution,
 )
-from .lazy import LazyDeriver
+from .lazy import CacheInfo, LazyDeriver
 from .inference import (
     VoteExplanation,
     VoterChoice,
@@ -114,6 +114,7 @@ __all__ = [
     "DEFAULT_ENGINE",
     "validate_engine",
     "LazyDeriver",
+    "CacheInfo",
     "save_model",
     "load_model",
     "model_to_dict",

@@ -24,9 +24,10 @@ import numpy as np
 
 from ..exec.base import ExecReport, ShardPlan, ShardResult
 from ..exec.executors import Executor
-from ..exec.runtime import execute_derivation
+from ..exec.runtime import execute_delta, execute_derivation, multi_batch_for
 from ..probdb.blocks import TupleBlock
 from ..probdb.database import ProbabilisticDatabase
+from ..probdb.invalidate import CarryStore
 from ..relational.relation import Relation
 from .engine import BatchInferenceEngine
 from .inference import VoterChoice, VotingScheme
@@ -61,6 +62,10 @@ class DeriveResult:
     learn_result: LearnResult | None
     sampling_stats: SamplingStats
     exec_report: ExecReport | None = None
+    #: the base seed the run's multi shards derived from (None when the
+    #: workload had no multi-missing tuples); a later delta re-derive pins
+    #: its dirty shards to this seed so carried blocks stay consistent
+    base_seed: int | None = None
 
 
 def _check_executor_conflict(
@@ -141,6 +146,8 @@ def derive_probabilistic_database(
     workers: int | None = None,
     gibbs_chains: int | None = None,
     gibbs_vectorized: bool | None = None,
+    previous: DeriveResult | None = None,
+    update_policy: str | None = None,
     on_plan: Callable[[ShardPlan], None] | None = None,
     on_shard: Callable[[ShardResult], None] | None = None,
     should_stop: Callable[[], bool] | None = None,
@@ -190,6 +197,18 @@ def derive_probabilistic_database(
         same names): ``gibbs_vectorized`` picks the lock-step ensemble
         kernel (default) or the scalar tuple-DAG oracle, ``gibbs_chains``
         pools that many chains per tuple into the ``num_samples`` budget.
+    previous, update_policy:
+        Incremental re-derivation after a base-table update.  ``previous``
+        is the :class:`DeriveResult` of the pre-update table; its model is
+        reused (learning is skipped — updates never re-learn the MRSL) and,
+        under the ``"delta"`` policy (``update_policy`` overriding
+        ``config.update_policy``), blocks whose lineage the update did not
+        touch are carried over verbatim while only dirty shards execute —
+        pinned to the previous run's base seed, so the result is
+        bit-identical to a from-scratch derive of the updated relation
+        under that seed.  The ``"full"`` policy re-derives everything but
+        still reuses the model and base seed, giving the same result the
+        slow way.
     on_plan, on_shard, should_stop:
         Progress and cancellation hooks, forwarded to
         :func:`~repro.exec.runtime.execute_derivation`: ``on_plan`` sees the
@@ -217,6 +236,19 @@ def derive_probabilistic_database(
         gibbs_chains=gibbs_chains,
         gibbs_vectorized=gibbs_vectorized,
     )
+    policy = update_policy if update_policy is not None else cfg.update_policy
+    if update_policy is not None and update_policy not in ("delta", "full"):
+        raise ValueError(
+            f"update_policy must be 'delta' or 'full', got {update_policy!r}"
+        )
+    if previous is not None:
+        # Updates never re-learn the MRSL: the previous model keeps serving
+        # (a model change would dirty every block).  Pin the previous base
+        # seed so both policies reproduce the same from-scratch result.
+        if model is None:
+            model = previous.model
+        if rng is None and previous.base_seed is not None:
+            rng = previous.base_seed
     if rng is None:
         rng = cfg.seed
     learn_result = None
@@ -238,17 +270,36 @@ def derive_probabilistic_database(
         else:
             multi.append(t)
 
-    outcome = execute_derivation(
-        single + multi,
-        model,
-        cfg,
-        rng=rng,
-        batch_engine=batch_engine,
-        executor=executor if isinstance(executor, Executor) else None,
-        on_plan=on_plan,
-        on_shard=on_shard,
-        should_stop=should_stop,
-    )
+    if previous is not None and policy == "delta":
+        carry = CarryStore.from_database(
+            previous.database,
+            previous.base_seed,
+            multi_batch=multi_batch_for(cfg),
+        )
+        outcome = execute_delta(
+            single + multi,
+            model,
+            cfg,
+            carry,
+            rng=rng,
+            batch_engine=batch_engine,
+            executor=executor if isinstance(executor, Executor) else None,
+            on_plan=on_plan,
+            on_shard=on_shard,
+            should_stop=should_stop,
+        )
+    else:
+        outcome = execute_derivation(
+            single + multi,
+            model,
+            cfg,
+            rng=rng,
+            batch_engine=batch_engine,
+            executor=executor if isinstance(executor, Executor) else None,
+            on_plan=on_plan,
+            on_shard=on_shard,
+            should_stop=should_stop,
+        )
 
     database = ProbabilisticDatabase(
         relation.schema,
@@ -261,4 +312,5 @@ def derive_probabilistic_database(
         learn_result=learn_result,
         sampling_stats=outcome.stats,
         exec_report=outcome.report,
+        base_seed=outcome.plan.base_seed,
     )

@@ -25,7 +25,7 @@ than per-tuple Python loops.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Iterable, NamedTuple
 
 import numpy as np
 
@@ -40,7 +40,25 @@ from .engine import BatchInferenceEngine
 from .inference import VoterChoice, VotingScheme
 from .learning import learn_mrsl
 
-__all__ = ["LazyDeriver"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..relational.updates import ChangeSet
+
+__all__ = ["CacheInfo", "LazyDeriver"]
+
+
+class CacheInfo(NamedTuple):
+    """Lazy-cache counters, ``functools.lru_cache``-style.
+
+    ``hits``/``misses`` count per-tuple lookups through :meth:`LazyDeriver.block`
+    and :meth:`LazyDeriver.prefetch` (a prefetched tuple already cached is a
+    hit; a pending one is a miss).  ``evictions`` counts blocks removed by
+    targeted invalidation; ``size`` is the current number of cached blocks.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
 
 
 class LazyDeriver:
@@ -109,6 +127,50 @@ class LazyDeriver:
         self._cache: dict[RelTuple, TupleBlock] = {}
         #: number of blocks actually derived (the partial-materialization metric)
         self.materialized = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- cache bookkeeping -----------------------------------------------------
+
+    def cache_info(self) -> CacheInfo:
+        """Current hit/miss/eviction counters and cache size."""
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._cache),
+        )
+
+    def evict(self, tuples: Iterable[RelTuple]) -> int:
+        """Drop the cached blocks of ``tuples`` (targeted invalidation).
+
+        Returns how many entries were actually removed; absent tuples are
+        ignored.  ``materialized`` keeps its historical count — it measures
+        derivation work done, not cache residency.
+        """
+        removed = 0
+        for t in tuples:
+            if self._cache.pop(t, None) is not None:
+                removed += 1
+        self._evictions += removed
+        return removed
+
+    def apply_changeset(self, changeset: "ChangeSet", trust: tuple[str, ...] | None = None) -> int:
+        """Apply a base-table ChangeSet and evict the dirty cached blocks.
+
+        The deriver's relation is updated in place (its update log grows)
+        and every cached block whose base tuple content was updated or
+        retracted is evicted, so the next access re-derives against the new
+        table.  The model is *not* re-learned — the lazy deriver serves the
+        model it trained at construction, matching the delta-derive policy.
+        Returns the number of evicted blocks.  Trust defaults to
+        ``config.trust``.
+        """
+        outcome = self.relation.apply_changeset(
+            changeset, trust=self.config.trust if trust is None else trust
+        )
+        return self.evict(outcome.touched_tuples())
 
     # -- block derivation ------------------------------------------------------
 
@@ -116,6 +178,7 @@ class LazyDeriver:
         """Derive (or fetch) the block for one incomplete tuple."""
         cached = self._cache.get(t)
         if cached is not None:
+            self._hits += 1
             return cached
         self.prefetch([t])
         return self._cache[t]
@@ -129,14 +192,19 @@ class LazyDeriver:
         the tuple-DAG optimization within their subsumption component,
         single-missing tuples are served as signature-grouped batches by
         the compiled engine — and executed by the configured runtime,
-        caching each shard's blocks as it completes.
+        caching each shard's blocks as it completes.  Each requested tuple
+        counts once toward :meth:`cache_info`: cached ones as hits, distinct
+        pending ones as misses.
         """
         pending: list[RelTuple] = []
         seen: set[RelTuple] = set()
         for t in tuples:
-            if t not in self._cache and t not in seen:
+            if t in self._cache:
+                self._hits += 1
+            elif t not in seen:
                 seen.add(t)
                 pending.append(t)
+                self._misses += 1
         if not pending:
             return
         # Tiny batches (the tuple-at-a-time block() path) are not worth a

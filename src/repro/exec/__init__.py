@@ -41,8 +41,14 @@ from .executors import (
     ThreadExecutor,
     get_executor,
 )
-from .plan import plan_shards, resolve_base_seed, shard_seed
-from .runtime import ExecOutcome, execute_derivation, stream_derivation
+from .plan import multi_shard_layout, plan_shards, resolve_base_seed, shard_seed
+from .runtime import (
+    ExecOutcome,
+    execute_delta,
+    execute_derivation,
+    multi_batch_for,
+    stream_derivation,
+)
 from .work import ShardKnobs, multi_shard_blocks, run_shard, single_shard_blocks
 
 __all__ = [
@@ -64,6 +70,7 @@ __all__ = [
     "ProcessExecutor",
     "get_executor",
     "plan_shards",
+    "multi_shard_layout",
     "resolve_base_seed",
     "shard_seed",
     "ShardKnobs",
@@ -73,4 +80,6 @@ __all__ = [
     "ExecOutcome",
     "stream_derivation",
     "execute_derivation",
+    "execute_delta",
+    "multi_batch_for",
 ]

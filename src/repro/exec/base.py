@@ -121,6 +121,10 @@ class ShardPlan:
     num_tuples: int
     #: the resolved seed multi-shard seeds derive from (None if no multis)
     base_seed: int | None = None
+    #: shards a delta plan served from a previous derivation (skipped work)
+    carried_over: int = 0
+    #: tuples covered by those carried shards
+    carried_tuples: int = 0
 
     @property
     def single_shards(self) -> tuple[Shard, ...]:
@@ -173,6 +177,9 @@ class ShardTiming:
     groups: int
     elapsed: float
     worker: str
+    #: True when the delta path reused this shard's blocks instead of
+    #: executing it (elapsed is 0.0 and worker is "carry")
+    carried: bool = False
 
     def to_dict(self) -> dict:
         """Plain JSON-able mapping (the wire form of job shard events)."""
@@ -183,6 +190,7 @@ class ShardTiming:
             "groups": self.groups,
             "elapsed": self.elapsed,
             "worker": self.worker,
+            "carried": self.carried,
         }
 
 
@@ -196,6 +204,11 @@ class ExecReport:
     num_tuples: int = 0
     elapsed: float = 0.0
     timings: list[ShardTiming] = field(default_factory=list)
+    #: shards served verbatim from a previous derivation (delta mode);
+    #: ``num_shards`` counts only the shards actually executed
+    carried_over: int = 0
+    #: tuples covered by the carried shards
+    carried_tuples: int = 0
 
     def add(self, result: ShardResult, groups: int) -> None:
         self.timings.append(
@@ -209,6 +222,22 @@ class ExecReport:
             )
         )
 
+    def add_carried(self, key: str, kind: str, tuples: int, groups: int) -> None:
+        """Record a shard the delta path skipped (blocks reused verbatim)."""
+        self.timings.append(
+            ShardTiming(
+                key=key,
+                kind=kind,
+                tuples=tuples,
+                groups=groups,
+                elapsed=0.0,
+                worker="carry",
+                carried=True,
+            )
+        )
+        self.carried_over += 1
+        self.carried_tuples += tuples
+
     def slowest(self, k: int = 5) -> list[ShardTiming]:
         """The ``k`` slowest shards, slowest first (for progress reporting)."""
         return sorted(self.timings, key=lambda t: -t.elapsed)[:k]
@@ -221,15 +250,22 @@ class ExecReport:
             "num_shards": self.num_shards,
             "num_tuples": self.num_tuples,
             "elapsed": self.elapsed,
+            "carried_over": self.carried_over,
+            "carried_tuples": self.carried_tuples,
             "timings": [t.to_dict() for t in self.timings],
         }
 
     def summary(self) -> str:
         busy = sum(t.elapsed for t in self.timings)
+        carried = (
+            f", {self.carried_over} shards ({self.carried_tuples} tuples) carried over"
+            if self.carried_over
+            else ""
+        )
         return (
             f"{self.num_shards} shards over {self.num_tuples} tuples via "
             f"{self.executor}(workers={self.workers}): "
-            f"{self.elapsed:.3f}s wall, {busy:.3f}s shard time"
+            f"{self.elapsed:.3f}s wall, {busy:.3f}s shard time{carried}"
         )
 
     def __repr__(self) -> str:

@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "MULTI_TUPLES_PER_SHARD",
+    "multi_shard_layout",
     "plan_shards",
     "resolve_base_seed",
     "shard_seed",
@@ -252,6 +253,26 @@ def _batch_components(
     return [sorted(batch, key=lambda e: e[0]) for batch in batches]
 
 
+def multi_shard_layout(
+    entries: Sequence[tuple[int, RelTuple]],
+    multi_batch: int | None = None,
+) -> list[tuple[str, list[tuple[int, RelTuple]]]]:
+    """The deterministic multi-missing shard layout: ``(key, entries)`` pairs.
+
+    This is the single source of truth for how multi-missing workloads map
+    to shard content keys; :func:`plan_shards` builds its multi shards from
+    it, and the delta planner replays it over a *previous* derivation's
+    workload to recover the shard keys whose blocks can be carried over.
+    ``entries`` are ``(workload_index, tuple)`` pairs; only their relative
+    order matters, so any consistent indexing recovers identical keys.
+    """
+    layout = []
+    for batch in _batch_components(_components(entries), multi_batch):
+        distinct = {t for _, t in batch}
+        layout.append((f"multi:{_content_key(distinct)}", batch))
+    return layout
+
+
 def plan_shards(
     tuples: "Sequence[RelTuple]",
     model: "MRSLModel",
@@ -292,9 +313,7 @@ def plan_shards(
     base_seed: int | None = None
     if multi:
         base_seed = resolve_base_seed(rng, seed)
-        for component in _batch_components(_components(multi), multi_batch):
-            distinct = {t for _, t in component}
-            key = f"multi:{_content_key(distinct)}"
+        for key, component in multi_shard_layout(multi, multi_batch):
             shards.append(
                 Shard(
                     key=key,
@@ -302,7 +321,7 @@ def plan_shards(
                     indices=tuple(idx for idx, _ in component),
                     tuples=tuple(t for _, t in component),
                     seed=shard_seed(base_seed, key),
-                    groups=len(distinct),
+                    groups=len({t for _, t in component}),
                 )
             )
     return ShardPlan(

@@ -17,19 +17,44 @@ from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 import numpy as np
 
+from ..core.compiled import CompiledModel
 from ..core.tuple_dag import SamplingStats
-from .base import DerivationCancelled, ExecReport, ShardPlan, ShardResult
+from .base import DerivationCancelled, ExecReport, Shard, ShardPlan, ShardResult
 from .executors import ExecContext, Executor, get_executor
-from .plan import MULTI_TUPLES_PER_SHARD, plan_shards
+from .plan import (
+    MULTI_TUPLES_PER_SHARD,
+    _pack_single_shards,
+    _single_groups,
+    plan_shards,
+    resolve_base_seed,
+    shard_seed,
+)
 from .work import ShardKnobs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.engine import BatchInferenceEngine
     from ..core.mrsl import MRSLModel
     from ..probdb.blocks import TupleBlock
+    from ..probdb.invalidate import CarryStore
     from ..relational.tuples import RelTuple
 
-__all__ = ["ExecOutcome", "stream_derivation", "execute_derivation"]
+__all__ = [
+    "ExecOutcome",
+    "stream_derivation",
+    "execute_derivation",
+    "execute_delta",
+    "multi_batch_for",
+]
+
+
+def multi_batch_for(config: Any) -> int | None:
+    """The ``multi_batch`` the runtime would pass the planner for ``config``.
+
+    Delta derivation must replay the previous run's layout with the same
+    batching to recover its shard keys, so this mapping is public.
+    """
+    knobs = ShardKnobs.from_config(config)
+    return MULTI_TUPLES_PER_SHARD if knobs.vectorized_gibbs else None
 
 
 @dataclass
@@ -148,15 +173,34 @@ def execute_derivation(
     plan = _plan(tuples, model, config, rng, chosen, context)
     if on_plan is not None:
         on_plan(plan)
-    groups_by_key = {shard.key: shard.groups for shard in plan.shards}
     blocks: "list[TupleBlock | None]" = [None] * len(tuples)
-    stats = SamplingStats()
     report = ExecReport(
         executor=chosen.name,
         workers=chosen.workers,
         num_shards=len(plan),
         num_tuples=len(tuples),
     )
+    return _run_plan(
+        chosen, context, plan, blocks, report, on_shard, should_stop
+    )
+
+
+def _run_plan(
+    chosen: Executor,
+    context: ExecContext,
+    plan: ShardPlan,
+    blocks: "list[TupleBlock | None]",
+    report: ExecReport,
+    on_shard: Callable[[ShardResult], None] | None,
+    should_stop: Callable[[], bool] | None,
+) -> ExecOutcome:
+    """Drain a plan's shard stream into ``blocks``, filling ``report``.
+
+    Shared collector of the full and delta paths; ``blocks`` may arrive
+    pre-filled at carried positions, only planned shards are awaited.
+    """
+    groups_by_key = {shard.key: shard.groups for shard in plan.shards}
+    stats = SamplingStats()
     start = time.perf_counter()
 
     def _cancelled_at(done: int) -> DerivationCancelled:
@@ -169,6 +213,7 @@ def execute_derivation(
     if should_stop is not None and should_stop():
         raise _cancelled_at(0)
     stream = chosen.run(plan, context)
+    executed = 0
     try:
         for result in stream:
             for idx, block in zip(result.indices, result.blocks):
@@ -176,10 +221,11 @@ def execute_derivation(
             if result.stats is not None:
                 _merge_stats(stats, result.stats)
             report.add(result, groups_by_key.get(result.key, 1))
+            executed += 1
             if on_shard is not None:
                 on_shard(result)
             if should_stop is not None and should_stop():
-                raise _cancelled_at(len(report.timings))
+                raise _cancelled_at(executed)
     finally:
         # Closing the stream cancels futures the pools have not started.
         close = getattr(stream, "close", None)
@@ -190,3 +236,119 @@ def execute_derivation(
     if missing:  # pragma: no cover - executors yield every planned shard
         raise RuntimeError(f"shard execution left {len(missing)} tuples unfilled")
     return ExecOutcome(blocks=blocks, stats=stats, report=report, plan=plan)
+
+
+def execute_delta(
+    tuples: "Sequence[RelTuple]",
+    model: "MRSLModel",
+    config: Any,
+    carry: "CarryStore",
+    rng: np.random.Generator | int | None = None,
+    batch_engine: "BatchInferenceEngine | None" = None,
+    executor: "Executor | str | None" = None,
+    on_shard: Callable[[ShardResult], None] | None = None,
+    on_plan: Callable[[ShardPlan], None] | None = None,
+    should_stop: Callable[[], bool] | None = None,
+) -> ExecOutcome:
+    """Derive blocks for ``tuples``, reusing a previous run's clean blocks.
+
+    The new workload is laid out exactly as :func:`execute_derivation`
+    would plan it; every shard whose content already exists in ``carry``
+    is served verbatim (recorded as a carried shard in the report), and
+    only dirty shards execute.  Dirty multi shards are seeded with
+    ``carry.base_seed`` under the keys a from-scratch plan would assign,
+    so the assembled database is bit-identical to a from-scratch derive
+    of the updated table with that base seed — for every executor.  When
+    the previous run had no multi-missing work, the base seed resolves
+    fresh from ``rng``/``config.seed`` as usual.
+    """
+    chosen = get_executor(
+        config.executor if executor is None else executor, config.workers
+    )
+    context = ExecContext(
+        model=model,
+        knobs=ShardKnobs.from_config(config),
+        batch_engine=batch_engine,
+    )
+    split = carry.split(tuples, multi_batch_for(config))
+
+    compiled = None
+    if split.dirty_single or split.carried_single:
+        if context.batch_engine is None and chosen.name == "serial":
+            context.warm_engine()
+        if context.batch_engine is not None:
+            compiled = context.batch_engine.compiled
+        else:
+            compiled = CompiledModel(model)
+
+    shards: list[Shard] = []
+    if split.dirty_single:
+        shards.extend(
+            _pack_single_shards(
+                _single_groups(split.dirty_single, compiled), chosen.workers
+            )
+        )
+    base_seed: int | None = None
+    if split.dirty_multi or split.carried_multi:
+        base_seed = (
+            carry.base_seed
+            if carry.base_seed is not None
+            else resolve_base_seed(rng, config.seed)
+        )
+    for key, batch in split.dirty_multi:
+        shards.append(
+            Shard(
+                key=key,
+                kind="multi",
+                indices=tuple(idx for idx, _ in batch),
+                tuples=tuple(t for _, t in batch),
+                seed=shard_seed(base_seed, key),
+                groups=len({t for _, t in batch}),
+            )
+        )
+
+    # Account carried work at shard granularity: carried singles are packed
+    # exactly like dirty ones (results don't depend on packing), carried
+    # multi batches keep their layout keys.
+    carried_shards: list[Shard] = []
+    if split.carried_single:
+        carried_shards.extend(
+            _pack_single_shards(
+                _single_groups(split.carried_single, compiled), chosen.workers
+            )
+        )
+    for key, batch in split.carried_multi:
+        carried_shards.append(
+            Shard(
+                key=key,
+                kind="multi",
+                indices=tuple(idx for idx, _ in batch),
+                tuples=tuple(t for _, t in batch),
+                groups=len({t for _, t in batch}),
+            )
+        )
+
+    plan = ShardPlan(
+        shards=tuple(shards),
+        num_tuples=split.num_dirty_tuples,
+        base_seed=base_seed,
+        carried_over=len(carried_shards),
+        carried_tuples=len(split.carried),
+    )
+    if on_plan is not None:
+        on_plan(plan)
+
+    blocks: "list[TupleBlock | None]" = [None] * len(tuples)
+    for idx, block in split.carried.items():
+        blocks[idx] = block
+    report = ExecReport(
+        executor=chosen.name,
+        workers=chosen.workers,
+        num_shards=len(plan),
+        num_tuples=len(tuples),
+    )
+    for shard in carried_shards:
+        report.add_carried(shard.key, shard.kind, len(shard), shard.groups)
+    return _run_plan(
+        chosen, context, plan, blocks, report, on_shard, should_stop
+    )

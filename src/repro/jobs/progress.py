@@ -48,6 +48,11 @@ class ProgressSnapshot:
     #: completed tuples per second of wall-clock (0.0 before the first shard)
     tuples_per_second: float = 0.0
     eta_seconds: float | None = None
+    #: shards a delta derivation served from the previous run (skipped work);
+    #: totals above count only shards that actually execute
+    carried_over: int = 0
+    #: tuples covered by the carried shards
+    carried_tuples: int = 0
 
     @property
     def shards_pending(self) -> int:
@@ -78,6 +83,8 @@ class ProgressSnapshot:
             "elapsed": self.elapsed,
             "tuples_per_second": self.tuples_per_second,
             "eta_seconds": self.eta_seconds,
+            "carried_over": self.carried_over,
+            "carried_tuples": self.carried_tuples,
         }
 
     def describe(self) -> str:
@@ -85,10 +92,13 @@ class ProgressSnapshot:
         if not self.planned:
             return "planning shards..."
         eta = "" if self.eta_seconds is None else f", eta {self.eta_seconds:.1f}s"
+        carried = (
+            f", {self.carried_over} shards carried" if self.carried_over else ""
+        )
         return (
             f"{self.shards_done}/{self.shards_total} shards, "
             f"{self.tuples_done}/{self.tuples_total} tuples, "
-            f"{self.elapsed:.1f}s elapsed{eta}"
+            f"{self.elapsed:.1f}s elapsed{eta}{carried}"
         )
 
 
@@ -121,6 +131,8 @@ class ProgressTracker:
         #: summed (tuples, shard seconds) of completed shards, the ETA evidence
         self._tuples_timed = 0
         self._busy_seconds = 0.0
+        self._carried_over = 0
+        self._carried_tuples = 0
 
     # -- runtime hooks -----------------------------------------------------
 
@@ -128,7 +140,9 @@ class ProgressTracker:
         """Record the plan: totals become known, the clock (re)starts.
 
         Also zeroes the completion accumulators, so one tracker can be
-        reused across consecutive derivations.
+        reused across consecutive derivations.  Delta plans carry counts of
+        shards served from the previous run; totals here cover only the
+        shards that will actually execute.
         """
         with self._lock:
             self._planned = True
@@ -139,6 +153,8 @@ class ProgressTracker:
             self._tuples_done = 0
             self._tuples_timed = 0
             self._busy_seconds = 0.0
+            self._carried_over = getattr(plan, "carried_over", 0)
+            self._carried_tuples = getattr(plan, "carried_tuples", 0)
         self._emit("plan")
 
     def on_shard(self, result: "ShardResult") -> None:
@@ -183,6 +199,8 @@ class ProgressTracker:
             elapsed=elapsed,
             tuples_per_second=rate,
             eta_seconds=eta,
+            carried_over=self._carried_over,
+            carried_tuples=self._carried_tuples,
         )
 
     def _emit(self, kind: str, result: "ShardResult | None" = None) -> None:

@@ -23,6 +23,7 @@ from .lineage import (
 )
 from .database import PossibleWorld, ProbabilisticDatabase
 from .distribution import DEFAULT_SMOOTHING_FLOOR, Distribution, mixture
+from .invalidate import CarryStore, DeltaSplit
 from .query import (
     block_selection_probability,
     count_distribution,
@@ -38,6 +39,8 @@ __all__ = [
     "TupleBlock",
     "ProbabilisticDatabase",
     "PossibleWorld",
+    "CarryStore",
+    "DeltaSplit",
     "block_selection_probability",
     "selection_probabilities",
     "expected_count",

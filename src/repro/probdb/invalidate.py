@@ -1,0 +1,174 @@
+"""Lineage-driven invalidation: which blocks survive a base-table update.
+
+A derived block's lineage is fully determined by *content*: a single-missing
+block depends only on its base tuple (the compiled inference path is
+deterministic and RNG-free), and a multi-missing block depends on the distinct
+tuple set of its Gibbs shard — the shard's content key seeds its RNG, so two
+shards with the same key and base seed produce bit-identical blocks.
+
+That makes invalidation a pure set computation, no diffing of ChangeSets
+required: rebuild the previous derivation's content→block maps (the
+:class:`CarryStore`), lay out the *new* workload exactly as a from-scratch
+plan would, and every new shard whose key is found in the store carries its
+blocks over verbatim.  Everything else is dirty and gets re-derived with the
+seed a from-scratch run would have used — so an incremental derivation is
+bit-identical to a full derivation of the updated table under the same base
+seed, for every executor.
+
+Granularity follows the planner: a cell update to a single-missing tuple
+dirties exactly that tuple; an update to a multi-missing tuple dirties the
+batched shard holding its subsumption component.  Inserting or retracting
+multi-missing tuples can shift the greedy batch packing and cascade
+re-keying to later batches — correct, but worth knowing when sizing
+ChangeSets (see ``docs/updates.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from ..relational.tuples import RelTuple
+from .blocks import TupleBlock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .database import ProbabilisticDatabase
+
+__all__ = ["CarryStore", "DeltaSplit"]
+
+
+@dataclass(frozen=True)
+class DeltaSplit:
+    """A new workload split into carried blocks and dirty work.
+
+    ``carried`` maps workload indices to reusable blocks.  ``dirty_single``
+    entries re-enter the single-shard packer; each ``dirty_multi`` item is a
+    ready-made shard ``(content key, entries)`` from the new layout whose
+    key missed the store.  ``carried_single``/``carried_multi`` mirror the
+    carried side so the runtime can account skipped shards honestly.
+    """
+
+    carried: dict[int, TupleBlock]
+    dirty_single: list[tuple[int, RelTuple]]
+    dirty_multi: list[tuple[str, list[tuple[int, RelTuple]]]]
+    carried_single: list[tuple[int, RelTuple]]
+    carried_multi: list[tuple[str, list[tuple[int, RelTuple]]]]
+
+    @property
+    def num_carried_tuples(self) -> int:
+        return len(self.carried)
+
+    @property
+    def num_dirty_tuples(self) -> int:
+        return len(self.dirty_single) + sum(
+            len(entries) for _, entries in self.dirty_multi
+        )
+
+
+class CarryStore:
+    """Content-keyed blocks from a previous derivation, ready for reuse.
+
+    ``singles`` maps each single-missing base tuple to its block;
+    ``multi`` maps each previous multi shard's content key to that shard's
+    own ``{base tuple: block}`` map.  ``base_seed`` is the seed the previous
+    derivation's multi shards were derived under — the delta runtime pins
+    new shards to the same seed so the combined result equals a from-scratch
+    run.  ``None`` when the previous run had no multi-missing work.
+    """
+
+    __slots__ = ("singles", "multi", "base_seed")
+
+    def __init__(
+        self,
+        singles: dict[RelTuple, TupleBlock],
+        multi: dict[str, dict[RelTuple, TupleBlock]],
+        base_seed: int | None,
+    ):
+        self.singles = singles
+        self.multi = multi
+        self.base_seed = base_seed
+
+    @classmethod
+    def from_database(
+        cls,
+        database: "ProbabilisticDatabase",
+        base_seed: int | None,
+        multi_batch: int | None = None,
+    ) -> "CarryStore":
+        """Rebuild the store from a derived database.
+
+        The previous multi workload is recovered from the database's blocks
+        (derivation emits blocks in workload order, so the multi bases appear
+        in their original relative order) and replayed through the planner's
+        :func:`~repro.exec.plan.multi_shard_layout` with the same
+        ``multi_batch`` to recover the shard content keys.
+        """
+        from ..exec.plan import multi_shard_layout
+
+        singles: dict[RelTuple, TupleBlock] = {}
+        multi_blocks: list[TupleBlock] = []
+        for block in database.blocks:
+            if block.base.num_missing == 1:
+                singles.setdefault(block.base, block)
+            else:
+                multi_blocks.append(block)
+        multi: dict[str, dict[RelTuple, TupleBlock]] = {}
+        if multi_blocks:
+            entries = [(i, b.base) for i, b in enumerate(multi_blocks)]
+            for key, batch in multi_shard_layout(entries, multi_batch):
+                multi[key] = {multi_blocks[i].base: multi_blocks[i] for i, _ in batch}
+        return cls(singles=singles, multi=multi, base_seed=base_seed)
+
+    def split(
+        self,
+        tuples: Sequence[RelTuple],
+        multi_batch: int | None = None,
+    ) -> DeltaSplit:
+        """Split the new workload into carried blocks and dirty shards.
+
+        ``tuples`` is the full new workload in canonical order (singles then
+        multis, each in relation order — exactly what a from-scratch derive
+        would plan).  The new multi layout is computed here so dirty multi
+        shards keep the keys — hence the seeds — a from-scratch plan would
+        assign them.
+        """
+        from ..exec.plan import multi_shard_layout
+
+        single: list[tuple[int, RelTuple]] = []
+        multi: list[tuple[int, RelTuple]] = []
+        for idx, t in enumerate(tuples):
+            if t.is_complete:
+                raise ValueError("complete tuples do not belong in the workload")
+            (single if t.num_missing == 1 else multi).append((idx, t))
+
+        carried: dict[int, TupleBlock] = {}
+        dirty_single: list[tuple[int, RelTuple]] = []
+        carried_single: list[tuple[int, RelTuple]] = []
+        for idx, t in single:
+            block = self.singles.get(t)
+            if block is None:
+                dirty_single.append((idx, t))
+            else:
+                # Re-root the block on this workload entry; duplicates of one
+                # content share the distribution, as in a from-scratch run.
+                carried[idx] = TupleBlock(t, block.distribution)
+                carried_single.append((idx, t))
+
+        dirty_multi: list[tuple[str, list[tuple[int, RelTuple]]]] = []
+        carried_multi: list[tuple[str, list[tuple[int, RelTuple]]]] = []
+        for key, batch in multi_shard_layout(multi, multi_batch):
+            blocks = self.multi.get(key)
+            if blocks is None:
+                dirty_multi.append((key, batch))
+            else:
+                for idx, t in batch:
+                    carried[idx] = TupleBlock(t, blocks[t].distribution)
+                carried_multi.append((key, batch))
+
+        return DeltaSplit(
+            carried=carried,
+            dirty_single=dirty_single,
+            dirty_multi=dirty_multi,
+            carried_single=carried_single,
+            carried_multi=carried_multi,
+        )

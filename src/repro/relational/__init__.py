@@ -8,9 +8,19 @@ and an incomplete part ``Ri`` whose missing values are to be inferred.
 from .bucketing import Bucketing, equal_frequency_buckets, equal_width_buckets
 from .io import infer_schema, read_csv, write_csv
 from .join import pk_fk_join
-from .relation import Relation
+from .relation import ApplyOutcome, LogEntry, Relation
 from .schema import Attribute, Schema, SchemaError
 from .tuples import MISSING, MISSING_CODE, RelTuple, make_tuple, proper_subsumes, subsumes
+from .updates import (
+    DEFAULT_SOURCE,
+    CellConflict,
+    ChangeSet,
+    UpdateOp,
+    insert,
+    rank_source,
+    retract,
+    update,
+)
 
 __all__ = [
     "Attribute",
@@ -23,6 +33,16 @@ __all__ = [
     "subsumes",
     "proper_subsumes",
     "Relation",
+    "ApplyOutcome",
+    "LogEntry",
+    "ChangeSet",
+    "UpdateOp",
+    "CellConflict",
+    "DEFAULT_SOURCE",
+    "insert",
+    "update",
+    "retract",
+    "rank_source",
     "read_csv",
     "write_csv",
     "infer_schema",

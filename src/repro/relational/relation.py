@@ -9,14 +9,69 @@ estimation are built on.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from .schema import Schema, SchemaError
-from .tuples import MISSING_CODE, RelTuple
+from .tuples import MISSING, MISSING_CODE, RelTuple
 
-__all__ = ["Relation"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .updates import CellConflict, ChangeSet
+
+__all__ = ["Relation", "ApplyOutcome", "LogEntry"]
+
+
+@dataclass(frozen=True)
+class ApplyOutcome:
+    """What :meth:`Relation.apply_changeset` did, for invalidation and audit.
+
+    Row indices refer to the relation *before* the ChangeSet was applied,
+    except ``inserted_at`` which indexes the post-apply relation.  The
+    ``*_before``/``*_after`` tuples carry the touched row contents so
+    downstream caches can evict by tuple identity without re-diffing.
+    """
+
+    updated: tuple[int, ...]
+    retracted: tuple[int, ...]
+    inserted_at: tuple[int, ...]
+    updated_before: tuple[RelTuple, ...]
+    updated_after: tuple[RelTuple, ...]
+    retracted_tuples: tuple[RelTuple, ...]
+    inserted_tuples: tuple[RelTuple, ...]
+    conflicts: tuple["CellConflict", ...]
+
+    @property
+    def num_touched(self) -> int:
+        """Distinct pre-existing rows modified or removed, plus inserts."""
+        return len(self.updated) + len(self.retracted) + len(self.inserted_tuples)
+
+    @property
+    def ties(self) -> tuple["CellConflict", ...]:
+        """Conflicts trust could not separate (reported, never dropped)."""
+        return tuple(c for c in self.conflicts if c.tie)
+
+    def touched_tuples(self) -> tuple[RelTuple, ...]:
+        """Old contents of every updated or retracted row (for cache eviction)."""
+        return self.updated_before + self.retracted_tuples
+
+    def to_dict(self) -> dict:
+        return {
+            "updated": list(self.updated),
+            "retracted": list(self.retracted),
+            "inserted_at": list(self.inserted_at),
+            "conflicts": [c.to_dict() for c in self.conflicts],
+            "ties": len(self.ties),
+        }
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One append-only update-log record: the ChangeSet and its outcome."""
+
+    changeset: "ChangeSet"
+    outcome: ApplyOutcome
 
 
 class Relation:
@@ -37,6 +92,7 @@ class Relation:
             self._codes = np.vstack(rows).astype(np.int32)
         else:
             self._codes = np.empty((0, len(schema)), dtype=np.int32)
+        self._update_log: list[LogEntry] = []
 
     # -- construction -------------------------------------------------------
 
@@ -110,6 +166,90 @@ class Relation:
             rows.append(t.codes)
         if rows:
             self._codes = np.vstack([self._codes, np.vstack(rows)])
+
+    # -- updates (ChangeSet application) -------------------------------------
+
+    @property
+    def update_log(self) -> tuple[LogEntry, ...]:
+        """Append-only history of every ChangeSet applied to this relation."""
+        return tuple(self._update_log)
+
+    def copy(self) -> "Relation":
+        """An independent copy sharing nothing mutable (log included)."""
+        rel = Relation.from_codes(self.schema, self._codes)
+        rel._update_log = list(self._update_log)
+        return rel
+
+    def apply_changeset(
+        self, changeset: "ChangeSet", trust: Sequence[str] = ()
+    ) -> ApplyOutcome:
+        """Apply a :class:`~repro.relational.updates.ChangeSet` in place.
+
+        Conflicting writes to the same cell are resolved by the ``trust``
+        ordering (earlier source ids are trusted more); unresolvable ties are
+        applied first-writer-wins and *reported* in the returned outcome.
+        Application order is updates, then retractions, then insertions; all
+        op indices address rows of this relation before the call.  The
+        ChangeSet and its outcome are appended to :attr:`update_log`.
+        """
+        from .updates import ChangeSet
+
+        if not isinstance(changeset, ChangeSet):
+            changeset = ChangeSet.from_dict(changeset)
+        changeset.validate_against(len(self), len(self.schema))
+        assignments, retracted, conflicts = changeset.resolve(trust)
+
+        codes = self._codes.copy()
+        updated_idx: list[int] = []
+        updated_before: list[RelTuple] = []
+        updated_after: list[RelTuple] = []
+        for index in sorted(assignments):
+            # Copy row codes: RelTuple wraps the array it is given, and the
+            # in-place writes below must not retroactively mutate `before`.
+            before = RelTuple(self.schema, codes[index].copy())
+            for attr, value in assignments[index].items():
+                pos = self.schema.index(attr)
+                if value == MISSING:
+                    codes[index, pos] = MISSING_CODE
+                else:
+                    codes[index, pos] = self.schema[pos].code(value)
+            after = RelTuple(self.schema, codes[index].copy())
+            if after != before:
+                updated_idx.append(index)
+                updated_before.append(before)
+                updated_after.append(after)
+
+        retracted_idx = sorted(retracted)
+        retracted_tuples = tuple(
+            RelTuple(self.schema, codes[i].copy()) for i in retracted_idx
+        )
+        keep = np.ones(codes.shape[0], dtype=bool)
+        keep[retracted_idx] = False
+        codes = codes[keep]
+
+        inserted_tuples = tuple(
+            RelTuple.from_values(self.schema, op.row)
+            for op in changeset.by_kind("insert")
+        )
+        inserted_at = tuple(
+            range(codes.shape[0], codes.shape[0] + len(inserted_tuples))
+        )
+        if inserted_tuples:
+            codes = np.vstack([codes, np.vstack([t.codes for t in inserted_tuples])])
+
+        self._codes = codes.astype(np.int32)
+        outcome = ApplyOutcome(
+            updated=tuple(updated_idx),
+            retracted=tuple(retracted_idx),
+            inserted_at=inserted_at,
+            updated_before=tuple(updated_before),
+            updated_after=tuple(updated_after),
+            retracted_tuples=retracted_tuples,
+            inserted_tuples=inserted_tuples,
+            conflicts=conflicts,
+        )
+        self._update_log.append(LogEntry(changeset=changeset, outcome=outcome))
+        return outcome
 
     # -- complete / incomplete split (Section II) ----------------------------
 

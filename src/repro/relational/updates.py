@@ -1,0 +1,360 @@
+"""Serializable change sets over relations, with trust-based conflict resolution.
+
+The update model follows Youtopia-style cooperative update exchange: several
+*sources* (peers, sensors, curators) emit evidence about the same base table
+as a stream of operations, and the system must decide which evidence to
+believe when two sources disagree about the same cell.  Disagreements are
+resolved with Gatterbauer & Suciu-style *trust mappings*: an ordered list of
+source ids where earlier sources are trusted more; sources absent from the
+list rank below every listed source and are mutually tied.
+
+A :class:`ChangeSet` is an ordered bag of :class:`UpdateOp` values:
+
+* ``insert`` — append a new row (positional values, ``"?"`` allowed);
+* ``update`` — assign values to cells of an existing row (``"?"`` unsets a
+  cell, making the tuple incomplete there);
+* ``retract`` — remove an existing row.
+
+All row indices in one ChangeSet address the relation *before* the ChangeSet
+is applied.  Application order is: cell updates (after conflict resolution),
+then retractions, then insertions — so an ``update`` and a ``retract`` of
+the same row form a row-level conflict, likewise resolved by trust.
+
+Everything round-trips through plain JSON via ``to_dict``/``from_dict``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Iterator, Mapping, Sequence
+
+from .schema import SchemaError
+from .tuples import MISSING
+
+__all__ = [
+    "OP_KINDS",
+    "DEFAULT_SOURCE",
+    "UpdateOp",
+    "ChangeSet",
+    "CellConflict",
+    "insert",
+    "update",
+    "retract",
+    "rank_source",
+]
+
+#: Recognised operation kinds, in application order.
+OP_KINDS = ("insert", "update", "retract")
+
+#: Source id attached to operations that do not declare one.
+DEFAULT_SOURCE = "anonymous"
+
+
+def rank_source(source: str, trust: Sequence[str]) -> int:
+    """Rank of ``source`` under a trust ordering; lower is more trusted.
+
+    Listed sources rank by position; unlisted sources share the rank one
+    past the end of the list (least trusted, mutually tied).
+    """
+    try:
+        return list(trust).index(source)
+    except ValueError:
+        return len(trust)
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """One base-table operation, tagged with the source that emitted it.
+
+    Exactly one shape per kind:
+
+    * ``insert`` — ``row`` holds positional values (length = schema arity);
+    * ``update`` — ``index`` addresses a pre-apply row, ``cells`` maps
+      attribute names to new values (``"?"`` clears the cell);
+    * ``retract`` — ``index`` addresses the pre-apply row to drop.
+    """
+
+    kind: str
+    source: str = DEFAULT_SOURCE
+    row: tuple[Hashable, ...] | None = None
+    index: int | None = None
+    cells: tuple[tuple[str, Hashable], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise ValueError(f"unknown op kind {self.kind!r}; expected one of {OP_KINDS}")
+        if not isinstance(self.source, str) or not self.source:
+            raise ValueError("op source must be a non-empty string")
+        if self.kind == "insert":
+            if self.row is None:
+                raise ValueError("insert op requires a row of values")
+            object.__setattr__(self, "row", tuple(self.row))
+        else:
+            if self.index is None or int(self.index) < 0:
+                raise ValueError(f"{self.kind} op requires a non-negative row index")
+            object.__setattr__(self, "index", int(self.index))
+        if self.kind == "update":
+            cells = self.cells
+            if isinstance(cells, Mapping):
+                cells = tuple(cells.items())
+            else:
+                cells = tuple((str(k), v) for k, v in cells)
+            if not cells:
+                raise ValueError("update op requires at least one cell assignment")
+            object.__setattr__(self, "cells", cells)
+        elif self.cells:
+            raise ValueError(f"{self.kind} op does not take cell assignments")
+
+    @property
+    def cell_map(self) -> dict[str, Hashable]:
+        """The ``update`` cell assignments as a dict."""
+        return dict(self.cells)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"op": self.kind, "source": self.source}
+        if self.kind == "insert":
+            out["row"] = list(self.row or ())
+        else:
+            out["index"] = self.index
+        if self.kind == "update":
+            out["set"] = {name: value for name, value in self.cells}
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "UpdateOp":
+        kind = payload.get("op") or payload.get("kind")
+        if kind is None:
+            raise ValueError("op payload missing 'op' field")
+        return cls(
+            kind=str(kind),
+            source=str(payload.get("source", DEFAULT_SOURCE)),
+            row=tuple(payload["row"]) if "row" in payload else None,
+            index=payload.get("index"),
+            cells=tuple(dict(payload.get("set", payload.get("cells", {}))).items()),
+        )
+
+
+def insert(row: Sequence[Hashable], source: str = DEFAULT_SOURCE) -> UpdateOp:
+    """Convenience constructor for an insert op."""
+    return UpdateOp(kind="insert", source=source, row=tuple(row))
+
+
+def update(
+    index: int,
+    cells: Mapping[str, Hashable],
+    source: str = DEFAULT_SOURCE,
+) -> UpdateOp:
+    """Convenience constructor for a cell-update op."""
+    return UpdateOp(kind="update", source=source, index=index, cells=tuple(cells.items()))
+
+
+def retract(index: int, source: str = DEFAULT_SOURCE) -> UpdateOp:
+    """Convenience constructor for a retract op."""
+    return UpdateOp(kind="retract", source=source, index=index)
+
+
+@dataclass(frozen=True)
+class CellConflict:
+    """Two or more sources disagreeing about the same cell (or row).
+
+    ``attr`` is ``None`` for row-level conflicts (update vs. retract of the
+    same row).  ``claims`` lists each source's claimed value in op order —
+    a retract claims the sentinel ``"<retract>"``.  ``winner`` is the source
+    whose claim was applied; ``tie`` is True when trust could not separate
+    the top-ranked claimants (the first claimant in op order wins, but the
+    tie is reported rather than silently dropped).
+    """
+
+    index: int
+    attr: str | None
+    claims: tuple[tuple[str, Hashable], ...]
+    winner: str
+    value: Hashable
+    tie: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "attr": self.attr,
+            "claims": [[source, value] for source, value in self.claims],
+            "winner": self.winner,
+            "value": self.value,
+            "tie": self.tie,
+        }
+
+
+#: Claim value used for retractions in row-level conflicts.
+RETRACT_CLAIM = "<retract>"
+
+
+class ChangeSet:
+    """An ordered, serializable batch of base-table operations."""
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops: Iterable[UpdateOp] = ()):
+        self.ops: tuple[UpdateOp, ...] = tuple(ops)
+        for op in self.ops:
+            if not isinstance(op, UpdateOp):
+                raise TypeError(f"ChangeSet entries must be UpdateOp, got {type(op).__name__}")
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[UpdateOp]:
+        return iter(self.ops)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChangeSet):
+            return NotImplemented
+        return self.ops == other.ops
+
+    def __repr__(self) -> str:
+        kinds = {k: sum(1 for op in self.ops if op.kind == k) for k in OP_KINDS}
+        parts = ", ".join(f"{n} {k}" for k, n in kinds.items() if n)
+        return f"ChangeSet({parts or 'empty'})"
+
+    @property
+    def sources(self) -> tuple[str, ...]:
+        """Distinct source ids, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for op in self.ops:
+            seen.setdefault(op.source, None)
+        return tuple(seen)
+
+    def by_kind(self, kind: str) -> tuple[UpdateOp, ...]:
+        if kind not in OP_KINDS:
+            raise ValueError(f"unknown op kind {kind!r}")
+        return tuple(op for op in self.ops if op.kind == kind)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"ops": [op.to_dict() for op in self.ops]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ChangeSet":
+        ops = payload.get("ops")
+        if ops is None:
+            raise ValueError("ChangeSet payload missing 'ops' list")
+        return cls(UpdateOp.from_dict(op) for op in ops)
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChangeSet":
+        return cls.from_dict(json.loads(text))
+
+    # -- conflict resolution ------------------------------------------------
+
+    def resolve(
+        self, trust: Sequence[str] = ()
+    ) -> tuple[dict[int, dict[str, Hashable]], set[int], tuple[CellConflict, ...]]:
+        """Resolve this ChangeSet's updates/retracts under a trust ordering.
+
+        Returns ``(assignments, retracted, conflicts)``:
+
+        * ``assignments`` — per pre-apply row index, the winning
+          ``{attr: value}`` cell writes;
+        * ``retracted`` — row indices whose retraction won;
+        * ``conflicts`` — every cell or row contested by more than one
+          distinct claim, with the winner and whether trust tied.
+
+        Resolution is per cell: the most trusted source wins; among claims
+        of equal trust the earliest op in ChangeSet order wins and the tie
+        is reported.  Sources agreeing on the same value do not conflict.
+        A retract competes with every update claim on its row.
+        """
+        # Gather claims: (index, attr) -> [(source, value)] in op order.
+        cell_claims: dict[tuple[int, str], list[tuple[str, Hashable]]] = {}
+        retract_claims: dict[int, list[str]] = {}
+        for op in self.ops:
+            if op.kind == "update":
+                assert op.index is not None
+                for attr, value in op.cells:
+                    cell_claims.setdefault((int(op.index), attr), []).append(
+                        (op.source, value)
+                    )
+            elif op.kind == "retract":
+                assert op.index is not None
+                retract_claims.setdefault(int(op.index), []).append(op.source)
+
+        conflicts: list[CellConflict] = []
+        assignments: dict[int, dict[str, Hashable]] = {}
+        retracted: set[int] = set()
+
+        def _pick(
+            claims: Sequence[tuple[str, Hashable]]
+        ) -> tuple[str, Hashable, bool, bool]:
+            """Return (winner_source, value, contested, tie)."""
+            distinct_values = {v for _, v in claims}
+            best = min(range(len(claims)), key=lambda i: rank_source(claims[i][0], trust))
+            best_rank = rank_source(claims[best][0], trust)
+            top = [c for c in claims if rank_source(c[0], trust) == best_rank]
+            tie = len({v for _, v in top}) > 1
+            return claims[best][0], claims[best][1], len(distinct_values) > 1, tie
+
+        # Row-level: retract vs. update on the same row.
+        for index, sources in retract_claims.items():
+            row_updates = [
+                (src, f"{attr}={value}")
+                for (idx, attr), claims in cell_claims.items()
+                if idx == index
+                for src, value in claims
+            ]
+            claims = [(src, RETRACT_CLAIM) for src in sources] + row_updates
+            winner, value, contested, tie = _pick(claims)
+            retract_wins = value == RETRACT_CLAIM and winner in sources
+            if contested:
+                conflicts.append(
+                    CellConflict(
+                        index=index,
+                        attr=None,
+                        claims=tuple(claims),
+                        winner=winner,
+                        value=value,
+                        tie=tie,
+                    )
+                )
+            if retract_wins or not row_updates:
+                retracted.add(index)
+
+        # Cell-level resolution for rows that survive.
+        for (index, attr), claims in cell_claims.items():
+            if index in retracted:
+                continue
+            winner, value, contested, tie = _pick(claims)
+            if contested:
+                conflicts.append(
+                    CellConflict(
+                        index=index,
+                        attr=attr,
+                        claims=tuple(claims),
+                        winner=winner,
+                        value=value,
+                        tie=tie,
+                    )
+                )
+            assignments.setdefault(index, {})[attr] = value
+
+        return assignments, retracted, tuple(conflicts)
+
+    def validate_against(self, num_rows: int, arity: int) -> None:
+        """Check indices and insert arities against a relation's shape."""
+        for op in self.ops:
+            if op.kind == "insert":
+                assert op.row is not None
+                if len(op.row) != arity:
+                    raise SchemaError(
+                        f"insert row has {len(op.row)} values for a "
+                        f"{arity}-attribute schema"
+                    )
+            else:
+                assert op.index is not None
+                if op.index >= num_rows:
+                    raise IndexError(
+                        f"{op.kind} op addresses row {op.index} of a "
+                        f"{num_rows}-row relation"
+                    )

@@ -1,0 +1,258 @@
+"""Tests for ChangeSets, trust-based conflict resolution, and apply_changeset.
+
+The acceptance properties:
+
+* a ChangeSet round-trips through JSON losslessly;
+* conflicting cell writes resolve by the trust ordering, and ties are
+  *reported* (first-writer-wins applied), never silently dropped;
+* ``Relation.apply_changeset`` applies updates, then retractions, then
+  insertions, with every op index addressing the pre-apply relation, and
+  appends the ChangeSet + outcome to the append-only update log.
+"""
+
+import json
+
+import pytest
+
+from repro.relational import (
+    ChangeSet,
+    UpdateOp,
+    insert,
+    rank_source,
+    retract,
+    update,
+)
+from repro.relational.schema import SchemaError
+from repro.relational.tuples import MISSING
+from repro.relational.updates import RETRACT_CLAIM
+
+
+# -- op construction and validation -----------------------------------------
+
+
+class TestUpdateOp:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown op kind"):
+            UpdateOp(kind="upsert", index=0, cells=(("age", "20"),))
+
+    def test_insert_requires_row(self):
+        with pytest.raises(ValueError, match="requires a row"):
+            UpdateOp(kind="insert")
+
+    def test_update_requires_cells(self):
+        with pytest.raises(ValueError, match="at least one cell"):
+            UpdateOp(kind="update", index=0)
+
+    def test_retract_takes_no_cells(self):
+        with pytest.raises(ValueError, match="does not take cell"):
+            UpdateOp(kind="retract", index=0, cells=(("age", "20"),))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            retract(-1)
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(ValueError, match="source"):
+            UpdateOp(kind="retract", index=0, source="")
+
+    def test_helpers_build_the_three_kinds(self):
+        ops = [
+            insert(["20", "HS", "50K", "100K"], source="a"),
+            update(3, {"inc": "50K"}, source="b"),
+            retract(5, source="c"),
+        ]
+        assert [op.kind for op in ops] == ["insert", "update", "retract"]
+        assert ops[1].cell_map == {"inc": "50K"}
+
+
+# -- serialization -----------------------------------------------------------
+
+
+class TestSerialization:
+    def changeset(self):
+        return ChangeSet(
+            [
+                insert(["20", "HS", "50K", "100K"], source="census"),
+                update(2, {"inc": "100K", "nw": MISSING}, source="hr"),
+                retract(4, source="audit"),
+            ]
+        )
+
+    def test_json_round_trip(self):
+        cs = self.changeset()
+        again = ChangeSet.from_json(cs.to_json())
+        assert again == cs
+        # And the wire form itself is plain JSON.
+        payload = json.loads(cs.to_json())
+        assert [op["op"] for op in payload["ops"]] == [
+            "insert", "update", "retract",
+        ]
+        assert payload["ops"][1]["set"] == {"inc": "100K", "nw": MISSING}
+
+    def test_from_dict_accepts_alternate_keys(self):
+        cs = ChangeSet.from_dict(
+            {"ops": [{"kind": "update", "index": 1, "cells": {"age": "30"}}]}
+        )
+        (op,) = cs.ops
+        assert op.kind == "update" and op.cell_map == {"age": "30"}
+        assert op.source == "anonymous"
+
+    def test_missing_ops_rejected(self):
+        with pytest.raises(ValueError, match="missing 'ops'"):
+            ChangeSet.from_dict({})
+
+    def test_sources_and_by_kind(self):
+        cs = self.changeset()
+        assert cs.sources == ("census", "hr", "audit")
+        assert len(cs.by_kind("update")) == 1
+        with pytest.raises(ValueError, match="unknown op kind"):
+            cs.by_kind("merge")
+
+
+# -- trust-based conflict resolution ----------------------------------------
+
+
+class TestResolve:
+    def test_rank_source(self):
+        trust = ("a", "b")
+        assert rank_source("a", trust) == 0
+        assert rank_source("b", trust) == 1
+        # Unlisted sources tie one past the end.
+        assert rank_source("x", trust) == rank_source("y", trust) == 2
+
+    def test_agreeing_sources_do_not_conflict(self):
+        cs = ChangeSet(
+            [update(0, {"age": "30"}, "a"), update(0, {"age": "30"}, "b")]
+        )
+        assignments, retracted, conflicts = cs.resolve()
+        assert assignments == {0: {"age": "30"}}
+        assert not retracted and not conflicts
+
+    def test_trust_picks_the_winner(self):
+        cs = ChangeSet(
+            [update(0, {"age": "30"}, "low"), update(0, {"age": "40"}, "high")]
+        )
+        assignments, _, conflicts = cs.resolve(trust=("high", "low"))
+        assert assignments == {0: {"age": "40"}}
+        (conflict,) = conflicts
+        assert conflict.winner == "high" and not conflict.tie
+        assert conflict.attr == "age" and conflict.index == 0
+        assert set(conflict.claims) == {("low", "30"), ("high", "40")}
+
+    def test_tie_is_reported_not_dropped(self):
+        cs = ChangeSet(
+            [update(0, {"age": "30"}, "a"), update(0, {"age": "40"}, "b")]
+        )
+        assignments, _, conflicts = cs.resolve(trust=())
+        # First writer wins, but the tie is visible to the caller.
+        assert assignments == {0: {"age": "30"}}
+        (conflict,) = conflicts
+        assert conflict.tie and conflict.winner == "a"
+
+    def test_retract_vs_update_is_a_row_conflict(self):
+        cs = ChangeSet([update(2, {"age": "30"}, "a"), retract(2, "b")])
+        assignments, retracted, conflicts = cs.resolve(trust=("b", "a"))
+        assert retracted == {2}
+        assert 2 not in assignments
+        (conflict,) = conflicts
+        assert conflict.attr is None
+        assert conflict.value == RETRACT_CLAIM
+        # The losing direction: trust the updater instead.
+        assignments, retracted, conflicts = cs.resolve(trust=("a", "b"))
+        assert not retracted
+        assert assignments == {2: {"age": "30"}}
+        assert conflicts[0].winner == "a"
+
+    def test_conflict_to_dict_is_json_able(self):
+        cs = ChangeSet(
+            [update(0, {"age": "30"}, "a"), update(0, {"age": "40"}, "b")]
+        )
+        _, _, conflicts = cs.resolve()
+        payload = json.loads(json.dumps([c.to_dict() for c in conflicts]))
+        assert payload[0]["tie"] is True
+
+
+# -- applying to a relation ---------------------------------------------------
+
+
+class TestApplyChangeset:
+    def test_update_retract_insert(self, fig1_relation):
+        n = len(fig1_relation)
+        rel = fig1_relation.copy()
+        cs = ChangeSet(
+            [
+                update(1, {"inc": "100K"}, "hr"),
+                retract(3, "audit"),
+                insert(["40", "MS", "100K", "500K"], "census"),
+            ]
+        )
+        outcome = rel.apply_changeset(cs)
+        assert len(rel) == n  # one out, one in
+        assert outcome.updated == (1,)
+        assert outcome.retracted == (3,)
+        assert outcome.inserted_at == (n - 1,)
+        assert rel[1].value("inc") == "100K"
+        assert outcome.updated_before[0] == fig1_relation[1]
+        assert outcome.retracted_tuples[0].value("inc") == \
+            fig1_relation[3].value("inc")
+        assert rel[n - 1].values() == ("40", "MS", "100K", "500K")
+        # Indices address the PRE-apply relation: row 3's retraction did
+        # not shift what "row 1" meant for the update.
+        assert outcome.num_touched == 3
+
+    def test_question_mark_unsets_a_cell(self, fig1_relation):
+        rel = fig1_relation.copy()
+        assert rel[1].is_complete
+        rel.apply_changeset(ChangeSet([update(1, {"nw": MISSING})]))
+        assert not rel[1].is_complete
+        assert rel[1].value("nw") == MISSING
+
+    def test_noop_write_not_reported_as_update(self, fig1_relation):
+        rel = fig1_relation.copy()
+        value = rel[0].value("age")
+        outcome = rel.apply_changeset(ChangeSet([update(0, {"age": value})]))
+        assert outcome.updated == ()
+        assert outcome.num_touched == 0
+
+    def test_update_log_is_append_only(self, fig1_relation):
+        rel = fig1_relation.copy()
+        assert rel.update_log == ()
+        cs = ChangeSet([retract(0)])
+        outcome = rel.apply_changeset(cs)
+        (entry,) = rel.update_log
+        assert entry.changeset is cs and entry.outcome is outcome
+        # A copy inherits the log but does not share its spine.
+        twin = rel.copy()
+        twin.apply_changeset(ChangeSet([retract(0)]))
+        assert len(twin.update_log) == 2 and len(rel.update_log) == 1
+
+    def test_out_of_range_index_rejected(self, fig1_relation):
+        rel = fig1_relation.copy()
+        with pytest.raises(IndexError, match="addresses row"):
+            rel.apply_changeset(ChangeSet([retract(len(rel))]))
+
+    def test_bad_insert_arity_rejected(self, fig1_relation):
+        rel = fig1_relation.copy()
+        with pytest.raises(SchemaError, match="insert row has"):
+            rel.apply_changeset(ChangeSet([insert(["20", "HS"])]))
+
+    def test_trust_flows_through_and_ties_surface(self, fig1_relation):
+        rel = fig1_relation.copy()
+        cs = ChangeSet(
+            [update(0, {"age": "30"}, "a"), update(0, {"age": "40"}, "b")]
+        )
+        outcome = rel.apply_changeset(cs, trust=("b",))
+        assert rel[0].value("age") == "40"
+        assert outcome.ties == ()
+        rel2 = fig1_relation.copy()
+        outcome2 = rel2.apply_changeset(cs)
+        assert rel2[0].value("age") == "30"
+        assert len(outcome2.ties) == 1
+        assert outcome2.to_dict()["ties"] == 1
+
+    def test_touched_tuples_cover_updates_and_retracts(self, fig1_relation):
+        rel = fig1_relation.copy()
+        cs = ChangeSet([update(1, {"inc": "100K"}), retract(3)])
+        outcome = rel.apply_changeset(cs)
+        touched = outcome.touched_tuples()
+        assert fig1_relation[1] in touched and fig1_relation[3] in touched
