@@ -25,8 +25,10 @@ from ..core.itemsets import DEFAULT_MAX_ITEMSETS
 from ..core.tuple_dag import STRATEGIES
 from ..exec.base import (
     DEFAULT_EXECUTOR,
+    DEFAULT_FAILURE_POLICY,
     DEFAULT_WORKERS,
     validate_executor,
+    validate_failure_policy,
     validate_workers,
 )
 
@@ -63,6 +65,15 @@ class DeriveConfig:
     last), and ``update_policy`` picks incremental re-derivation
     (``"delta"``, the default — untouched blocks carry over verbatim) or a
     from-scratch re-derive (``"full"``).
+
+    The fault-tolerance knobs: each shard gets ``shard_retries`` retries
+    with deterministic exponential backoff, ``shard_deadline`` (seconds,
+    None = unlimited) bounds one shard attempt before it is treated as
+    hung, and ``failure_policy`` decides what an unrecoverable executor
+    failure does — ``"strict"`` (default) raises with the partial report
+    attached, ``"degrade"`` falls back process→thread→serial and keeps
+    deriving.  Retried and degraded runs stay bit-identical to clean runs
+    because shard seeds are content-keyed.
     """
 
     support_threshold: float = 0.01
@@ -80,6 +91,9 @@ class DeriveConfig:
     gibbs_vectorized: bool = True
     trust: tuple[str, ...] = ()
     update_policy: str = "delta"
+    failure_policy: str = DEFAULT_FAILURE_POLICY
+    shard_retries: int = 1
+    shard_deadline: float | None = None
 
     def __post_init__(self) -> None:
         set_ = object.__setattr__  # frozen dataclass: normalize in place
@@ -129,6 +143,16 @@ class DeriveConfig:
                 f"update_policy must be 'delta' or 'full', "
                 f"got {self.update_policy!r}"
             )
+        set_(self, "failure_policy", validate_failure_policy(self.failure_policy))
+        set_(self, "shard_retries", int(self.shard_retries))
+        if self.shard_retries < 0:
+            raise ValueError("shard_retries must be non-negative")
+        if self.shard_deadline is not None:
+            set_(self, "shard_deadline", float(self.shard_deadline))
+            if self.shard_deadline <= 0:
+                raise ValueError(
+                    "shard_deadline must be positive (or None for unlimited)"
+                )
 
     @property
     def parallelism(self) -> int:

@@ -18,7 +18,9 @@ Routes::
     GET  /v1/jobs/{id}/result       the finished job's DeriveResponse
     POST /v1/jobs/{id}/cancel       cooperative cancellation
     GET  /v1/jobs/{id}/events       chunked ndjson shard-completion stream
-                                    (?after=N resumes, ?timeout=S bounds it)
+                                    (?after=N resumes, ?timeout=S bounds it,
+                                    ?heartbeat=S sets the keepalive cadence —
+                                    0 disables; default 15s idle)
 
 Errors come back as ``{"error": {"status": ..., "message": ...}}`` with the
 matching HTTP status — including malformed request bodies (bad JSON,
@@ -47,6 +49,9 @@ API_PREFIX = "/v1/"
 
 #: Upper bound on how long an idle ``/events`` stream waits for news.
 DEFAULT_EVENTS_TIMEOUT = 300.0
+
+#: Default idle interval between ``/events`` keepalive heartbeats.
+DEFAULT_EVENTS_HEARTBEAT = 15.0
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
@@ -166,18 +171,27 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                         timeout = float(
                             query.get("timeout", DEFAULT_EVENTS_TIMEOUT)
                         )
+                        heartbeat = float(
+                            query.get("heartbeat", DEFAULT_EVENTS_HEARTBEAT)
+                        )
                     except ValueError:
                         raise ServiceError(
-                            "'after' must be an integer and 'timeout' a "
-                            "number"
+                            "'after' must be an integer, 'timeout' and "
+                            "'heartbeat' numbers"
                         ) from None
-                    if math.isnan(timeout):
-                        raise ServiceError("'timeout' must be a number")
+                    if math.isnan(timeout) or math.isnan(heartbeat):
+                        raise ServiceError(
+                            "'timeout' and 'heartbeat' must be numbers"
+                        )
                     # The documented ceiling is a real bound: an idle
                     # stream never pins a handler thread longer than this.
                     timeout = min(max(0.0, timeout), DEFAULT_EVENTS_TIMEOUT)
+                    # heartbeat=0 disables keepalives; a positive value is
+                    # clamped to at least 1s so a client cannot busy-spin a
+                    # handler thread.
+                    hb = None if heartbeat <= 0 else max(1.0, heartbeat)
                     events = self.service.job_events(
-                        job_id, after=after, timeout=timeout
+                        job_id, after=after, timeout=timeout, heartbeat=hb
                     )
                     self._respond_stream(events)
                 else:

@@ -491,6 +491,7 @@ class InferenceService:
         request: DeriveRequest,
         progress: Callable[[ProgressSnapshot], None] | Any = None,
         cancel: Callable[[], bool] | None = None,
+        resume_carry: Any = None,
     ) -> DeriveResponse:
         model_name, schema = self._derive_schema(request)
         relation = Relation.from_rows(schema, request.rows)
@@ -506,6 +507,7 @@ class InferenceService:
                 gibbs_vectorized=request.gibbs_vectorized,
                 progress=progress,
                 cancel=cancel,
+                resume_carry=resume_carry,
             )
         db = result.database
         blocks: tuple[dict[str, Any], ...] = ()
@@ -607,10 +609,24 @@ class InferenceService:
                 request, progress=job.tracker, cancel=job.should_stop
             ).to_dict()
 
-        job = self.jobs.submit(work, label="update", workers=workers)
+        # Updates are journaled for visibility but are not resumable: an
+        # interrupted update's ChangeSet may be half-applied to the session
+        # state that died with the process; resume_jobs marks them failed.
+        job = self.jobs.submit(
+            work,
+            label="update",
+            workers=workers,
+            endpoint="update",
+            request=request.to_dict(),
+        )
         return AsyncDeriveResponse(job_id=job.id, state=job.state)
 
-    def derive_async(self, request: DeriveRequest) -> AsyncDeriveResponse:
+    def derive_async(
+        self,
+        request: DeriveRequest,
+        job_id: str | None = None,
+        resume_carry: Any = None,
+    ) -> AsyncDeriveResponse:
         """Submit a derive as a background job; returns immediately.
 
         Obviously-bad requests (no schema and no registered model) fail
@@ -618,6 +634,12 @@ class InferenceService:
         is the exact :class:`DeriveResponse` payload the blocking endpoint
         would have produced for the same request — bit-identical when the
         config pins a seed.
+
+        When the job manager has a durable store, the submission is
+        journaled (request payload + every completed shard), so a killed
+        server resumes it on restart.  ``job_id``/``resume_carry`` are the
+        resume path itself (:meth:`resume_jobs`): re-adopt the journaled id
+        and serve already-completed shards from the journal.
         """
         self._derive_schema(request)  # fail fast before queueing
         # Size the progress tracker with the same parallelism the
@@ -629,11 +651,60 @@ class InferenceService:
 
         def work(job: Job) -> dict[str, Any]:
             return self.derive(
-                request, progress=job.tracker, cancel=job.should_stop
+                request,
+                progress=job.tracker,
+                cancel=job.should_stop,
+                resume_carry=resume_carry,
             ).to_dict()
 
-        job = self.jobs.submit(work, label="derive", workers=workers)
+        job = self.jobs.submit(
+            work,
+            label="derive",
+            workers=workers,
+            endpoint="derive",
+            request=request.to_dict(),
+            job_id=job_id,
+        )
         return AsyncDeriveResponse(job_id=job.id, state=job.state)
+
+    def resume_jobs(self) -> list[str]:
+        """Resume journaled jobs interrupted by a server death.
+
+        For every job the durable store reports as ``queued`` or
+        ``running``: derives are resubmitted under their original id with a
+        :class:`~repro.probdb.invalidate.CarryStore` of their journaled
+        shards — completed shards carry over verbatim, the journaled base
+        seed pins the plan, and the resumed result is bit-identical to an
+        uninterrupted run.  Updates are not resumable (their session state
+        died with the process) and are marked failed.  Returns the resumed
+        job ids.  No-op without a durable store.
+        """
+        store = self.jobs.store
+        if store is None:
+            return []
+        resumed: list[str] = []
+        for record in store.load_resumable():
+            if record.endpoint != "derive":
+                store.set_state(
+                    record.id,
+                    "failed",
+                    error="interrupted by server restart; "
+                    f"{record.endpoint!r} jobs are not resumable",
+                )
+                continue
+            try:
+                request = DeriveRequest.from_dict(record.request)
+                carry = store.load_carry(record.id)
+                self.derive_async(request, job_id=record.id, resume_carry=carry)
+            except Exception as exc:  # noqa: BLE001 - one bad job, not all
+                store.set_state(
+                    record.id,
+                    "failed",
+                    error=f"resume failed: {type(exc).__name__}: {exc}",
+                )
+                continue
+            resumed.append(record.id)
+        return resumed
 
     def _job(self, job_id: str) -> Job:
         try:
@@ -676,15 +747,24 @@ class InferenceService:
         }
 
     def job_events(
-        self, job_id: str, after: int = 0, timeout: float | None = None
+        self,
+        job_id: str,
+        after: int = 0,
+        timeout: float | None = None,
+        heartbeat: float | None = None,
     ) -> Iterator[dict[str, Any]]:
         """``GET /v1/jobs/{id}/events``: blocking shard-completion stream.
 
         Yields every recorded event with ``seq > after`` and then new ones
         as they land, ending after the terminal event (or when ``timeout``
-        expires with no news).
+        expires with no news).  ``heartbeat`` interleaves synthetic
+        keepalive events whenever the stream idles that long; heartbeats
+        carry the last delivered ``seq`` and never consume sequence
+        numbers.
         """
-        return self._job(job_id).iter_events(after=after, timeout=timeout)
+        return self._job(job_id).iter_events(
+            after=after, timeout=timeout, heartbeat=heartbeat
+        )
 
     def infer(self, request: InferRequest) -> InferResponse:
         schema = self.session.model(request.model).schema

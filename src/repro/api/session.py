@@ -217,6 +217,7 @@ class Session:
             ProgressTracker | Callable[[ProgressSnapshot], None] | None
         ) = None,
         cancel: Callable[[], bool] | None = None,
+        resume_carry: "Any | None" = None,
     ) -> DeriveResult:
         """Derive ``relation``'s probabilistic database and register it.
 
@@ -242,6 +243,11 @@ class Session:
         :class:`~repro.exec.base.DerivationCancelled` and the session
         registers nothing — a cancelled derive never leaves a partial
         database behind.
+
+        ``resume_carry`` threads a journal-rebuilt
+        :class:`~repro.probdb.invalidate.CarryStore` into the derivation
+        (the durable-job resume path): completed shards of an interrupted
+        run are served verbatim, only the rest execute.
         """
         cfg = self.effective_config(
             config,
@@ -263,6 +269,7 @@ class Session:
             on_plan=None if tracker is None else tracker.on_plan,
             on_shard=None if tracker is None else tracker.on_shard,
             should_stop=cancel,
+            resume_carry=resume_carry,
         )
         self._results[name] = result
         # Keep a private copy of the base table: apply_updates mutates it

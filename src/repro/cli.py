@@ -39,7 +39,7 @@ from .api.config import DeriveConfig
 from .bench.reporting import format_table
 from .core.derive import derive_probabilistic_database
 from .core.engine import ENGINES
-from .exec.base import EXECUTORS
+from .exec.base import EXECUTORS, FAILURE_POLICIES
 from .core.inference import VoterChoice, VotingScheme
 from .core.learning import learn_mrsl
 from .core.persistence import load_model, save_model
@@ -131,6 +131,24 @@ def build_parser() -> argparse.ArgumentParser:
             "--seed", type=int, default=DEFAULTS.seed,
             help="sampler seed (default: fresh entropy)",
         )
+        p.add_argument(
+            "--failure-policy", choices=list(FAILURE_POLICIES),
+            default=DEFAULTS.failure_policy,
+            help="what an unrecoverable executor failure does: 'strict' "
+            "raises with the partial shard report, 'degrade' falls back "
+            "process->thread->serial and keeps deriving "
+            f"(default: {DEFAULTS.failure_policy})",
+        )
+        p.add_argument(
+            "--shard-retries", type=int, default=DEFAULTS.shard_retries,
+            help="retries per shard with deterministic exponential backoff "
+            f"(default {DEFAULTS.shard_retries})",
+        )
+        p.add_argument(
+            "--shard-deadline", type=float, default=DEFAULTS.shard_deadline,
+            help="seconds one shard attempt may run before it is treated "
+            "as hung and its worker pool rebuilt (default: unlimited)",
+        )
 
     derive = sub.add_parser("derive", help="derive the probabilistic relation")
     common(derive)
@@ -213,6 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument(
+        "--state-dir", type=Path, default=None,
+        help="directory for the durable job journal (SQLite); async jobs "
+        "interrupted by a crash or restart resume from their completed "
+        "shards when the server next starts with the same directory",
+    )
     return parser
 
 
@@ -243,6 +267,13 @@ def config_from_args(args: argparse.Namespace) -> DeriveConfig:
                 "on" if DEFAULTS.gibbs_vectorized else "off",
             )
             == "on"
+        ),
+        failure_policy=getattr(
+            args, "failure_policy", DEFAULTS.failure_policy
+        ),
+        shard_retries=getattr(args, "shard_retries", DEFAULTS.shard_retries),
+        shard_deadline=getattr(
+            args, "shard_deadline", DEFAULTS.shard_deadline
         ),
     )
 
@@ -424,6 +455,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .api.session import Session
 
     session = Session(config_from_args(args))
+    jobs = None
+    if args.state_dir is not None:
+        from .jobs import JobManager, JobStore
+
+        store = JobStore(args.state_dir)
+        jobs = JobManager(prefix="derive", store=store)
+        print(
+            f"durable job journal at {store.path}", file=sys.stderr
+        )
     if args.model is not None:
         session.load_model(args.model)
         print(f"loaded model 'default' from {args.model}", file=sys.stderr)
@@ -435,7 +475,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"blocks over {len(result.database.certain)} certain tuples",
             file=sys.stderr,
         )
-    serve(InferenceService(session), host=args.host, port=args.port)
+    service = InferenceService(session, jobs=jobs)
+    if args.state_dir is not None:
+        resumed = service.resume_jobs()
+        if resumed:
+            print(
+                f"resumed {len(resumed)} interrupted job(s): "
+                + ", ".join(resumed),
+                file=sys.stderr,
+            )
+    serve(service, host=args.host, port=args.port)
     return 0
 
 

@@ -151,6 +151,7 @@ def derive_probabilistic_database(
     on_plan: Callable[[ShardPlan], None] | None = None,
     on_shard: Callable[[ShardResult], None] | None = None,
     should_stop: Callable[[], bool] | None = None,
+    resume_carry: CarryStore | None = None,
 ) -> DeriveResult:
     """Derive the disjoint-independent probabilistic model for ``relation``.
 
@@ -216,6 +217,13 @@ def derive_probabilistic_database(
         ``should_stop`` is polled at shard boundaries — returning true
         raises :class:`~repro.exec.base.DerivationCancelled` and no partial
         database is built.
+    resume_carry:
+        A :class:`~repro.probdb.invalidate.CarryStore` rebuilt from a
+        durable job journal (:meth:`~repro.jobs.store.JobStore.load_carry`):
+        shards the interrupted run completed are carried verbatim, only the
+        rest execute, and the journaled base seed pins the plan — the
+        resumed result is bit-identical to an uninterrupted run.  Mutually
+        exclusive with ``previous``.
 
     Returns a :class:`DeriveResult`; its ``database`` holds the complete
     tuples as certain rows and one block per incomplete tuple.
@@ -270,12 +278,16 @@ def derive_probabilistic_database(
         else:
             multi.append(t)
 
+    if resume_carry is not None and previous is not None:
+        raise ValueError("resume_carry cannot be combined with previous")
+    carry: CarryStore | None = resume_carry
     if previous is not None and policy == "delta":
         carry = CarryStore.from_database(
             previous.database,
             previous.base_seed,
             multi_batch=multi_batch_for(cfg),
         )
+    if carry is not None:
         outcome = execute_delta(
             single + multi,
             model,

@@ -211,19 +211,26 @@ class LazyDeriver:
         # pool: run them serially in-process.  Results are bit-identical
         # either way, so this is purely a cost decision.
         executor = "serial" if len(pending) == 1 else None
-        for result in stream_derivation(
+        stream = stream_derivation(
             pending,
             self.model,
             self.config,
             rng=self._base_seed,
             batch_engine=self._batch_engine,
             executor=executor,
-        ):
-            for idx, block in zip(result.indices, result.blocks):
-                t = pending[idx]
-                if t not in self._cache:
-                    self._cache[t] = block
-                    self.materialized += 1
+        )
+        try:
+            for result in stream:
+                for idx, block in zip(result.indices, result.blocks):
+                    t = pending[idx]
+                    if t not in self._cache:
+                        self._cache[t] = block
+                        self.materialized += 1
+        finally:
+            # If the consumer abandons us mid-stream (a caching callback
+            # raising, Ctrl-C), close the generator so the executors' pool
+            # context managers run and worker threads/processes are reaped.
+            stream.close()
 
     # -- query-targeted evaluation ------------------------------------------------
 

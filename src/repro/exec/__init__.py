@@ -22,15 +22,22 @@ touching the api layer.
 
 from .base import (
     DEFAULT_EXECUTOR,
+    DEFAULT_FAILURE_POLICY,
     DEFAULT_WORKERS,
     EXECUTORS,
+    FAILURE_POLICIES,
     DerivationCancelled,
     ExecReport,
+    RetryPolicy,
     Shard,
+    ShardExecutionError,
+    ShardFailure,
     ShardPlan,
     ShardResult,
     ShardTiming,
+    WorkerPoolError,
     validate_executor,
+    validate_failure_policy,
     validate_workers,
 )
 from .executors import (
@@ -40,6 +47,16 @@ from .executors import (
     SerialExecutor,
     ThreadExecutor,
     get_executor,
+)
+from .faults import (
+    FAULT_KINDS,
+    FAULT_PLAN_ENV,
+    FaultInjected,
+    FaultPlan,
+    ShardFault,
+    apply_fault,
+    bind_faults,
+    resolve_fault_plan,
 )
 from .plan import multi_shard_layout, plan_shards, resolve_base_seed, shard_seed
 from .runtime import (
@@ -55,9 +72,24 @@ __all__ = [
     "EXECUTORS",
     "DEFAULT_EXECUTOR",
     "DEFAULT_WORKERS",
+    "FAILURE_POLICIES",
+    "DEFAULT_FAILURE_POLICY",
     "validate_executor",
+    "validate_failure_policy",
     "validate_workers",
     "DerivationCancelled",
+    "RetryPolicy",
+    "ShardFailure",
+    "ShardExecutionError",
+    "WorkerPoolError",
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "FaultInjected",
+    "FaultPlan",
+    "ShardFault",
+    "apply_fault",
+    "bind_faults",
+    "resolve_fault_plan",
     "Shard",
     "ShardPlan",
     "ShardResult",

@@ -29,12 +29,19 @@ __all__ = [
     "EXECUTORS",
     "DEFAULT_EXECUTOR",
     "DEFAULT_WORKERS",
+    "FAILURE_POLICIES",
+    "DEFAULT_FAILURE_POLICY",
     "validate_executor",
     "validate_workers",
+    "validate_failure_policy",
     "DerivationCancelled",
+    "ShardExecutionError",
+    "WorkerPoolError",
+    "RetryPolicy",
     "Shard",
     "ShardPlan",
     "ShardResult",
+    "ShardFailure",
     "ShardTiming",
     "ExecReport",
 ]
@@ -47,6 +54,14 @@ DEFAULT_EXECUTOR = "serial"
 
 #: The worker count used when callers do not choose one.
 DEFAULT_WORKERS = 1
+
+#: Recognized failure policies: ``"strict"`` raises on unrecoverable
+#: infrastructure failure (with the partial report attached), ``"degrade"``
+#: falls back process->thread->serial and keeps going.
+FAILURE_POLICIES = ("strict", "degrade")
+
+#: The failure policy used when callers do not choose one.
+DEFAULT_FAILURE_POLICY = "strict"
 
 
 def validate_executor(executor: str) -> str:
@@ -66,6 +81,16 @@ def validate_workers(workers: int) -> int:
     return workers
 
 
+def validate_failure_policy(policy: str) -> str:
+    """Normalize and validate a failure policy name."""
+    if policy not in FAILURE_POLICIES:
+        raise ValueError(
+            f"failure_policy must be one of {FAILURE_POLICIES}, "
+            f"got {policy!r}"
+        )
+    return policy
+
+
 class DerivationCancelled(RuntimeError):
     """A derivation stopped cooperatively at a shard boundary.
 
@@ -79,6 +104,86 @@ class DerivationCancelled(RuntimeError):
     def __init__(self, message: str, report: "ExecReport | None" = None):
         super().__init__(message)
         self.report = report
+
+
+class ShardExecutionError(RuntimeError):
+    """A shard kept failing after its retry budget was spent.
+
+    ``failure`` is the :class:`ShardFailure` row of the final attempt;
+    ``report`` is attached by the collector before the exception escapes,
+    so callers see every shard that *did* complete (and every recorded
+    failure) alongside the one that did not.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        failure: "ShardFailure | None" = None,
+        report: "ExecReport | None" = None,
+    ):
+        super().__init__(message)
+        self.failure = failure
+        self.report = report
+
+
+class WorkerPoolError(RuntimeError):
+    """A worker pool died too many times and the policy forbids fallback.
+
+    Raised under ``failure_policy="strict"`` when the process pool keeps
+    breaking (or a thread pool breaks); ``report`` is attached by the
+    collector exactly as for :class:`ShardExecutionError`.
+    """
+
+    def __init__(self, message: str, report: "ExecReport | None" = None):
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-shard retry budget with a jitterless deterministic backoff.
+
+    ``retries`` is the number of *re*-tries after the first attempt (so a
+    shard runs at most ``retries + 1`` times).  The backoff before retry
+    attempt ``n`` is ``min(backoff_cap, backoff_base * 2**(n-1))`` seconds
+    — exponential, no jitter, so two runs of the same failing workload wait
+    exactly the same schedule.  ``deadline`` bounds one attempt's wall
+    clock; it is *enforced* only by the process executor (which can kill a
+    hung worker and requeue) — serial and thread attempts cannot be
+    interrupted, so for them it is diagnostic only.
+
+    Retried shards are bit-identical to first-try shards: every attempt
+    re-runs the same content-keyed seed through the same kernel.
+    """
+
+    retries: int = 1
+    deadline: float | None = None
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(
+                f"deadline must be positive or None, got {self.deadline}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before the retry that follows ``attempt``."""
+        return min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+    @classmethod
+    def from_config(cls, cfg: object) -> "RetryPolicy":
+        """Extract the retry knobs from any DeriveConfig-shaped object."""
+        return cls(
+            retries=getattr(cfg, "shard_retries", 1),
+            deadline=getattr(cfg, "shard_deadline", None),
+        )
 
 
 @dataclass(frozen=True)
@@ -148,10 +253,12 @@ class ShardResult:
     blocks: "tuple[TupleBlock, ...]"
     #: Gibbs cost counters (multi shards; None for single shards)
     stats: SamplingStats | None = None
-    #: wall-clock seconds spent computing this shard
+    #: wall-clock seconds spent computing this shard (final attempt only)
     elapsed: float = 0.0
     #: label of the worker that ran the shard (thread name / process pid)
     worker: str = "main"
+    #: how many attempts this shard took (1 = succeeded first try)
+    attempts: int = 1
 
     def __len__(self) -> int:
         return len(self.indices)
@@ -164,7 +271,44 @@ class ShardResult:
             "tuples": len(self),
             "elapsed": self.elapsed,
             "worker": self.worker,
+            "attempts": self.attempts,
         }
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One failed shard attempt, as recorded in the :class:`ExecReport`.
+
+    Ioannidis & Simitsis's "talk back" in miniature: which shard failed, on
+    which attempt, what the error was, how long the attempt ran, and how
+    long the runtime backed off before retrying (0.0 when the budget was
+    spent and no retry followed).  ``fatal`` marks the attempt that
+    exhausted the retry budget.
+    """
+
+    key: str
+    kind: str
+    attempt: int
+    error: str
+    elapsed: float
+    backoff: float = 0.0
+    fatal: bool = False
+
+    def to_dict(self) -> dict:
+        """Plain JSON-able mapping (the wire form of failure rows)."""
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "attempt": self.attempt,
+            "error": self.error,
+            "elapsed": self.elapsed,
+            "backoff": self.backoff,
+            "fatal": self.fatal,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardFailure":
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -180,6 +324,8 @@ class ShardTiming:
     #: True when the delta path reused this shard's blocks instead of
     #: executing it (elapsed is 0.0 and worker is "carry")
     carried: bool = False
+    #: attempts the shard took (1 = first try; carried shards report 1)
+    attempts: int = 1
 
     def to_dict(self) -> dict:
         """Plain JSON-able mapping (the wire form of job shard events)."""
@@ -191,6 +337,7 @@ class ShardTiming:
             "elapsed": self.elapsed,
             "worker": self.worker,
             "carried": self.carried,
+            "attempts": self.attempts,
         }
 
 
@@ -209,6 +356,12 @@ class ExecReport:
     carried_over: int = 0
     #: tuples covered by the carried shards
     carried_tuples: int = 0
+    #: every failed attempt observed during the run (retried or fatal)
+    failures: list[ShardFailure] = field(default_factory=list)
+    #: executor downgrades that occurred (e.g. ``"process->thread"``)
+    degraded: list[str] = field(default_factory=list)
+    #: how many times a dead worker pool was rebuilt mid-run
+    pool_restarts: int = 0
 
     def add(self, result: ShardResult, groups: int) -> None:
         self.timings.append(
@@ -219,6 +372,7 @@ class ExecReport:
                 groups=groups,
                 elapsed=result.elapsed,
                 worker=result.worker,
+                attempts=result.attempts,
             )
         )
 
@@ -253,6 +407,9 @@ class ExecReport:
             "carried_over": self.carried_over,
             "carried_tuples": self.carried_tuples,
             "timings": [t.to_dict() for t in self.timings],
+            "failures": [f.to_dict() for f in self.failures],
+            "degraded": list(self.degraded),
+            "pool_restarts": self.pool_restarts,
         }
 
     def summary(self) -> str:
@@ -262,10 +419,20 @@ class ExecReport:
             if self.carried_over
             else ""
         )
+        faults = (
+            f", {len(self.failures)} failed attempts" if self.failures else ""
+        )
+        degraded = (
+            f", degraded {' then '.join(self.degraded)}" if self.degraded else ""
+        )
+        restarts = (
+            f", {self.pool_restarts} pool restarts" if self.pool_restarts else ""
+        )
         return (
             f"{self.num_shards} shards over {self.num_tuples} tuples via "
             f"{self.executor}(workers={self.workers}): "
-            f"{self.elapsed:.3f}s wall, {busy:.3f}s shard time{carried}"
+            f"{self.elapsed:.3f}s wall, {busy:.3f}s shard time"
+            f"{carried}{faults}{restarts}{degraded}"
         )
 
     def __repr__(self) -> str:

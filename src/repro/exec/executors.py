@@ -18,28 +18,52 @@ objects as shards finish, so they are interchangeable:
 Because multi-missing shards carry deterministic per-shard seeds and
 single-missing shards are RNG-free, all executors produce bit-identical
 results for any worker count.
+
+Failure is a first-class state here, not an abort: every executor runs each
+shard under the context's :class:`~repro.exec.base.RetryPolicy` (exponential
+jitterless backoff, recorded as :class:`~repro.exec.base.ShardFailure` rows),
+and the process executor additionally survives *infrastructure* failure —
+a crashed worker breaks the pool, the pool is rebuilt, and only the shards
+that were in flight are requeued.  A shard past its deadline is treated as a
+hung worker: the pool is killed and the shard requeued.  When the pool keeps
+dying, ``failure_policy`` decides: ``"strict"`` raises
+:class:`~repro.exec.base.WorkerPoolError` with the partial report attached,
+``"degrade"`` falls back process→thread→serial and keeps deriving — the
+deterministic seeds make the degraded result bit-identical.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import threading
+import time
+from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
+    Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
 )
-from dataclasses import dataclass
-from typing import Any, Iterator, Mapping, TYPE_CHECKING
+from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures.thread import BrokenThreadPool
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterator, Mapping, TYPE_CHECKING
 
 from ..core.engine import BatchInferenceEngine
 from .base import (
+    DEFAULT_FAILURE_POLICY,
     DEFAULT_WORKERS,
+    RetryPolicy,
+    Shard,
+    ShardExecutionError,
+    ShardFailure,
     ShardPlan,
     ShardResult,
+    WorkerPoolError,
     validate_workers,
 )
+from .faults import FaultPlan, ShardFault, bind_faults
 from .work import (
     ShardKnobs,
     _process_run_shard,
@@ -68,6 +92,14 @@ class ExecContext:
     execution reuses it so its CPD cache keeps carrying over.  ``model_doc``
     and ``compiled_metadata`` are built lazily by :class:`ProcessExecutor`
     unless the caller supplies them.
+
+    The failure knobs ride here too: ``retry`` and ``failure_policy`` come
+    from the config, ``faults`` is an optional injected
+    :class:`~repro.exec.faults.FaultPlan`, and the ``failures`` /
+    ``degradations`` / ``pool_restarts`` accumulators are filled by the
+    executors as the run unfolds — the collector copies them into the
+    :class:`~repro.exec.base.ExecReport` (even when the run ends in an
+    exception).
     """
 
     model: "MRSLModel"
@@ -75,6 +107,12 @@ class ExecContext:
     batch_engine: BatchInferenceEngine | None = None
     model_doc: Mapping[str, Any] | None = None
     compiled_metadata: Mapping[str, Any] | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    failure_policy: str = DEFAULT_FAILURE_POLICY
+    faults: FaultPlan | None = None
+    failures: list[ShardFailure] = field(default_factory=list)
+    degradations: list[str] = field(default_factory=list)
+    pool_restarts: int = 0
 
     def warm_engine(self) -> BatchInferenceEngine | None:
         """The in-process engine for serial execution (built on first use)."""
@@ -83,6 +121,56 @@ class ExecContext:
                 self.model, self.knobs.v_choice, self.knobs.v_scheme
             )
         return self.batch_engine
+
+    def record_failure(self, failure: ShardFailure) -> None:
+        self.failures.append(failure)
+
+
+def _retrying(
+    shard: Shard,
+    context: ExecContext,
+    faults: Mapping[tuple[str, int], ShardFault],
+    invoke: Callable[[Shard, ShardFault | None], ShardResult],
+) -> ShardResult:
+    """Run one shard attempt loop in-process (serial and thread workers).
+
+    Every attempt re-runs the same content-keyed seed through the same
+    kernel, so a retried shard is bit-identical to a first-try shard.
+    Failed attempts are recorded; an exhausted budget raises
+    :class:`~repro.exec.base.ShardExecutionError`.
+    """
+    retry = context.retry
+    attempt = 0
+    while True:
+        attempt += 1
+        fault = faults.get((shard.key, attempt))
+        start = time.perf_counter()
+        try:
+            result = invoke(shard, fault)
+        except Exception as exc:
+            exhausted = attempt >= retry.max_attempts
+            backoff = 0.0 if exhausted else retry.backoff(attempt)
+            failure = ShardFailure(
+                key=shard.key,
+                kind=shard.kind,
+                attempt=attempt,
+                error=f"{type(exc).__name__}: {exc}",
+                elapsed=time.perf_counter() - start,
+                backoff=backoff,
+                fatal=exhausted,
+            )
+            context.record_failure(failure)
+            if exhausted:
+                raise ShardExecutionError(
+                    f"shard {shard.key} failed after {attempt} attempts: "
+                    f"{failure.error}",
+                    failure=failure,
+                ) from exc
+            time.sleep(backoff)
+        else:
+            if attempt > 1:
+                result = replace(result, attempts=attempt)
+            return result
 
 
 class Executor:
@@ -102,6 +190,15 @@ class Executor:
         return f"{type(self).__name__}(workers={self.workers})"
 
 
+def _remaining_plan(plan: ShardPlan, shards: "list[Shard]") -> ShardPlan:
+    """A sub-plan over ``shards``, keeping the original base seed."""
+    return ShardPlan(
+        shards=tuple(shards),
+        num_tuples=sum(len(s) for s in shards),
+        base_seed=plan.base_seed,
+    )
+
+
 class SerialExecutor(Executor):
     """Run shards one after another in the calling process (the default)."""
 
@@ -111,9 +208,21 @@ class SerialExecutor(Executor):
         self, plan: ShardPlan, context: ExecContext
     ) -> Iterator[ShardResult]:
         engine = context.warm_engine()
+        faults = bind_faults(context.faults, plan)
+        deadline = context.retry.deadline
         for shard in plan.shards:
-            yield run_shard(
-                shard, context.model, context.knobs, batch_engine=engine
+            yield _retrying(
+                shard,
+                context,
+                faults,
+                lambda s, f: run_shard(
+                    s,
+                    context.model,
+                    context.knobs,
+                    batch_engine=engine,
+                    fault=f,
+                    deadline=deadline,
+                ),
             )
 
 
@@ -124,6 +233,11 @@ class ThreadExecutor(Executor):
     caller wants streaming overlap without process startup cost.  Each
     worker thread keeps its own warm engine: the LRU cache is not
     thread-safe, and sharing one would serialize the hot path anyway.
+
+    Retries run inside the worker task (each failed attempt backs off and
+    re-runs on the same thread).  A broken thread pool — rare, but e.g. a
+    failed thread start under resource exhaustion — degrades to serial
+    execution of the not-yet-streamed shards when the policy allows.
     """
 
     name = "thread"
@@ -135,8 +249,10 @@ class ThreadExecutor(Executor):
             return
         local = threading.local()
         model, knobs = context.model, context.knobs
+        faults = bind_faults(context.faults, plan)
+        deadline = context.retry.deadline
 
-        def task(shard):
+        def invoke(shard: Shard, fault: ShardFault | None) -> ShardResult:
             engine = getattr(local, "engine", None)
             if engine is None and knobs.engine == "compiled":
                 engine = BatchInferenceEngine(
@@ -149,12 +265,48 @@ class ThreadExecutor(Executor):
                 knobs,
                 batch_engine=engine,
                 worker=threading.current_thread().name,
+                fault=fault,
+                deadline=deadline,
             )
 
-        with ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix="repro-exec"
-        ) as pool:
-            yield from _stream(pool.submit(task, s) for s in plan.shards)
+        def task(shard: Shard) -> ShardResult:
+            return _retrying(shard, context, faults, invoke)
+
+        done: set[str] = set()
+        try:
+            with ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-exec"
+            ) as pool:
+                for result in _stream(
+                    pool.submit(task, s) for s in plan.shards
+                ):
+                    done.add(result.key)
+                    yield result
+        except BrokenThreadPool as exc:
+            if context.failure_policy != "degrade":
+                raise WorkerPoolError(
+                    f"thread pool broke with {len(done)} of "
+                    f"{len(plan.shards)} shards streamed: {exc}"
+                ) from exc
+            context.degradations.append("thread->serial")
+            remaining = [s for s in plan.shards if s.key not in done]
+            yield from SerialExecutor(1).run(
+                _remaining_plan(plan, remaining), context
+            )
+
+
+class _PoolDied(Exception):
+    """Internal: the process pool broke or a shard blew its deadline.
+
+    ``reason`` labels the failure; ``culprits`` names the shard keys the
+    failure is attributed to (the hung shard for a deadline, every
+    in-flight shard for a crash — which worker died is unknowable).
+    """
+
+    def __init__(self, reason: str, culprits: "list[str]"):
+        super().__init__(reason)
+        self.reason = reason
+        self.culprits = culprits
 
 
 class ProcessExecutor(Executor):
@@ -165,12 +317,29 @@ class ProcessExecutor(Executor):
     every worker, which rebuilds one warm
     :class:`~repro.core.engine.BatchInferenceEngine` for its lifetime —
     live engines and their caches are never pickled.
+
+    Fault domains: at most ``workers`` shards are in flight at a time, each
+    stamped with its submission time.  A broken pool
+    (:class:`~concurrent.futures.process.BrokenProcessPool` — a worker was
+    killed, hard-exited, or died in its initializer) or a shard exceeding
+    the retry deadline kills and rebuilds the pool, requeueing only the
+    in-flight shards; completed results are never recomputed.  Each requeue
+    consumes one attempt from the shard's retry budget.  After
+    ``max_pool_deaths`` rebuilds the run degrades to the thread executor
+    (``failure_policy="degrade"``) or raises
+    :class:`~repro.exec.base.WorkerPoolError` (``"strict"``).
     """
 
     name = "process"
 
     #: validate workers' rebuilt compiled structures against the parent's
     verify_rebuild = True
+
+    #: pool rebuilds tolerated before degrading (or raising)
+    max_pool_deaths = 2
+
+    #: seconds between deadline scans when no future completes
+    poll_interval = 0.25
 
     def run(
         self, plan: ShardPlan, context: ExecContext
@@ -201,15 +370,200 @@ class ProcessExecutor(Executor):
         else:
             method = "spawn"
         mp_context = multiprocessing.get_context(method)
-        with ProcessPoolExecutor(
-            max_workers=self.workers,
-            mp_context=mp_context,
-            initializer=_process_worker_init,
-            initargs=(model_doc, context.knobs, metadata),
-        ) as pool:
-            yield from _stream(
-                pool.submit(_process_run_shard, s) for s in plan.shards
+
+        faults = bind_faults(context.faults, plan)
+        retry = context.retry
+        queue: "deque[Shard]" = deque(plan.shards)
+        attempts: dict[str, int] = {s.key: 0 for s in plan.shards}
+        pool_deaths = 0
+
+        while queue:
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=mp_context,
+                initializer=_process_worker_init,
+                initargs=(model_doc, context.knobs, metadata),
             )
+            inflight: "dict[Future, tuple[Shard, float]]" = {}
+            try:
+                yield from self._drain(
+                    pool, queue, inflight, attempts, faults, context
+                )
+                return
+            except _PoolDied as died:
+                pool_deaths += 1
+                context.pool_restarts += 1
+                self._kill_pool(pool)
+                # Requeue the in-flight shards — completed work stands.
+                # The failure is charged to the culprits' retry budgets;
+                # innocent bystanders get their attempt back.
+                culprits = set(died.culprits)
+                for shard, started in inflight.values():
+                    if shard.key in culprits:
+                        exhausted = attempts[shard.key] >= retry.max_attempts
+                        failure = ShardFailure(
+                            key=shard.key,
+                            kind=shard.kind,
+                            attempt=attempts[shard.key],
+                            error=died.reason,
+                            elapsed=time.monotonic() - started,
+                            backoff=0.0 if exhausted else retry.backoff(
+                                attempts[shard.key]
+                            ),
+                            fatal=exhausted and context.failure_policy != "degrade",
+                        )
+                        context.record_failure(failure)
+                        if exhausted and context.failure_policy != "degrade":
+                            raise ShardExecutionError(
+                                f"shard {shard.key} failed after "
+                                f"{attempts[shard.key]} attempts: {died.reason}",
+                                failure=failure,
+                            ) from died
+                    else:
+                        attempts[shard.key] -= 1
+                    queue.append(shard)
+                if pool_deaths > self.max_pool_deaths:
+                    if context.failure_policy != "degrade":
+                        raise WorkerPoolError(
+                            f"process pool died {pool_deaths} times "
+                            f"({died.reason}); {len(queue)} shards unfinished"
+                        ) from died
+                    context.degradations.append("process->thread")
+                    yield from ThreadExecutor(self.workers).run(
+                        _remaining_plan(plan, list(queue)), context
+                    )
+                    return
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def _drain(
+        self,
+        pool: ProcessPoolExecutor,
+        queue: "deque[Shard]",
+        inflight: "dict[Future, tuple[Shard, float]]",
+        attempts: dict[str, int],
+        faults: Mapping[tuple[str, int], ShardFault],
+        context: ExecContext,
+    ) -> Iterator[ShardResult]:
+        """Pump shards through one pool until it is empty — or dies.
+
+        Submission is windowed to ``workers`` so a submitted future is
+        (to a close approximation) a *running* future, which is what makes
+        the per-shard deadline meaningful.  Raises :class:`_PoolDied` on a
+        broken pool or an overdue shard; the in-flight map is left intact
+        for the caller's requeue logic.
+        """
+        retry = context.retry
+        while queue or inflight:
+            while queue and len(inflight) < self.workers:
+                shard = queue.popleft()
+                attempts[shard.key] += 1
+                fault = faults.get((shard.key, attempts[shard.key]))
+                try:
+                    future = pool.submit(
+                        _process_run_shard, shard, fault, retry.deadline
+                    )
+                except BrokenProcessPool as exc:
+                    queue.appendleft(shard)
+                    attempts[shard.key] -= 1
+                    raise _PoolDied(
+                        f"worker pool broke: {exc}",
+                        [s.key for s, _ in inflight.values()],
+                    ) from exc
+                inflight[future] = (shard, time.monotonic())
+            timeout = self._wait_timeout(inflight, retry.deadline)
+            done, _ = wait(
+                set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                overdue = self._overdue(inflight, retry.deadline)
+                if overdue:
+                    raise _PoolDied(
+                        f"shard deadline ({retry.deadline:.3f}s) exceeded",
+                        overdue,
+                    )
+                continue
+            for future in done:
+                shard, started = inflight.pop(future)
+                try:
+                    result = future.result()
+                except BrokenProcessPool as exc:
+                    # The whole pool is gone; every in-flight shard (this
+                    # one included) is a suspect.
+                    inflight[future] = (shard, started)
+                    raise _PoolDied(
+                        f"worker crashed: {exc}",
+                        [s.key for s, _ in inflight.values()],
+                    ) from exc
+                except Exception as exc:
+                    # In-band failure shipped back from the worker: charge
+                    # the retry budget, back off, requeue.
+                    exhausted = attempts[shard.key] >= retry.max_attempts
+                    backoff = (
+                        0.0 if exhausted else retry.backoff(attempts[shard.key])
+                    )
+                    failure = ShardFailure(
+                        key=shard.key,
+                        kind=shard.kind,
+                        attempt=attempts[shard.key],
+                        error=f"{type(exc).__name__}: {exc}",
+                        elapsed=time.monotonic() - started,
+                        backoff=backoff,
+                        fatal=exhausted,
+                    )
+                    context.record_failure(failure)
+                    if exhausted:
+                        raise ShardExecutionError(
+                            f"shard {shard.key} failed after "
+                            f"{attempts[shard.key]} attempts: {failure.error}",
+                            failure=failure,
+                        ) from exc
+                    time.sleep(backoff)
+                    queue.append(shard)
+                else:
+                    if attempts[shard.key] > 1:
+                        result = replace(result, attempts=attempts[shard.key])
+                    yield result
+
+    def _wait_timeout(
+        self,
+        inflight: "dict[Future, tuple[Shard, float]]",
+        deadline: float | None,
+    ) -> float | None:
+        """How long to block in ``wait``: forever without a deadline,
+        otherwise until the earliest in-flight shard would be overdue."""
+        if deadline is None or not inflight:
+            return None
+        now = time.monotonic()
+        soonest = min(
+            deadline - (now - started) for _, started in inflight.values()
+        )
+        return max(min(soonest, self.poll_interval), 0.01)
+
+    @staticmethod
+    def _overdue(
+        inflight: "dict[Future, tuple[Shard, float]]",
+        deadline: float | None,
+    ) -> "list[str]":
+        if deadline is None:
+            return []
+        now = time.monotonic()
+        return [
+            shard.key
+            for shard, started in inflight.values()
+            if now - started >= deadline
+        ]
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Terminate a pool's workers without waiting on hung ones."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # already dead / reaped
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def _stream(futures) -> Iterator[ShardResult]:

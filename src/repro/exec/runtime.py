@@ -19,8 +19,19 @@ import numpy as np
 
 from ..core.compiled import CompiledModel
 from ..core.tuple_dag import SamplingStats
-from .base import DerivationCancelled, ExecReport, Shard, ShardPlan, ShardResult
+from .base import (
+    DEFAULT_FAILURE_POLICY,
+    DerivationCancelled,
+    ExecReport,
+    RetryPolicy,
+    Shard,
+    ShardExecutionError,
+    ShardPlan,
+    ShardResult,
+    WorkerPoolError,
+)
 from .executors import ExecContext, Executor, get_executor
+from .faults import FaultPlan, resolve_fault_plan
 from .plan import (
     MULTI_TUPLES_PER_SHARD,
     _pack_single_shards,
@@ -45,6 +56,25 @@ __all__ = [
     "execute_delta",
     "multi_batch_for",
 ]
+
+
+def _context(
+    model: "MRSLModel",
+    config: Any,
+    batch_engine: "BatchInferenceEngine | None",
+    faults: "FaultPlan | Any" = None,
+) -> ExecContext:
+    """Build the executor context for ``config``, failure knobs included."""
+    return ExecContext(
+        model=model,
+        knobs=ShardKnobs.from_config(config),
+        batch_engine=batch_engine,
+        retry=RetryPolicy.from_config(config),
+        failure_policy=getattr(
+            config, "failure_policy", DEFAULT_FAILURE_POLICY
+        ),
+        faults=resolve_fault_plan(faults, config),
+    )
 
 
 def multi_batch_for(config: Any) -> int | None:
@@ -85,6 +115,7 @@ def stream_derivation(
     batch_engine: "BatchInferenceEngine | None" = None,
     executor: "Executor | str | None" = None,
     plan: ShardPlan | None = None,
+    faults: "FaultPlan | Any" = None,
 ) -> Iterator[ShardResult]:
     """Plan ``tuples`` and yield shard results as they complete.
 
@@ -92,15 +123,13 @@ def stream_derivation(
     (the knobs are read as attributes, so this module never imports the api
     layer).  ``executor`` overrides ``config.executor``/``config.workers``
     when given; ``plan`` skips planning when the caller already has one.
+    ``faults`` injects a :class:`~repro.exec.faults.FaultPlan` (tests and
+    chaos runs only).
     """
     chosen = get_executor(
         config.executor if executor is None else executor, config.workers
     )
-    context = ExecContext(
-        model=model,
-        knobs=ShardKnobs.from_config(config),
-        batch_engine=batch_engine,
-    )
+    context = _context(model, config, batch_engine, faults)
     if plan is None:
         plan = _plan(tuples, model, config, rng, chosen, context)
     yield from chosen.run(plan, context)
@@ -149,6 +178,7 @@ def execute_derivation(
     on_shard: Callable[[ShardResult], None] | None = None,
     on_plan: Callable[[ShardPlan], None] | None = None,
     should_stop: Callable[[], bool] | None = None,
+    faults: "FaultPlan | Any" = None,
 ) -> ExecOutcome:
     """Derive blocks for ``tuples``, collecting the stream in input order.
 
@@ -161,15 +191,21 @@ def execute_derivation(
     carrying the partial report.  Shards already running on pool workers
     finish, but their results are discarded; no blocks escape a cancelled
     run.
+
+    Failure semantics ride on the config: each shard gets
+    ``config.shard_retries`` retries with deterministic exponential backoff
+    and an optional ``config.shard_deadline``; failed attempts, pool
+    restarts, and executor downgrades are recorded on the returned
+    :class:`~repro.exec.base.ExecReport`.  An exhausted shard or a
+    repeatedly dying pool raises :class:`~repro.exec.base.ShardExecutionError`
+    / :class:`~repro.exec.base.WorkerPoolError` with the partial report
+    attached as ``exc.report`` (``failure_policy="strict"``), or degrades
+    process→thread→serial and completes (``"degrade"``).
     """
     chosen = get_executor(
         config.executor if executor is None else executor, config.workers
     )
-    context = ExecContext(
-        model=model,
-        knobs=ShardKnobs.from_config(config),
-        batch_engine=batch_engine,
-    )
+    context = _context(model, config, batch_engine, faults)
     plan = _plan(tuples, model, config, rng, chosen, context)
     if on_plan is not None:
         on_plan(plan)
@@ -226,11 +262,21 @@ def _run_plan(
                 on_shard(result)
             if should_stop is not None and should_stop():
                 raise _cancelled_at(executed)
+    except (ShardExecutionError, WorkerPoolError) as exc:
+        report.elapsed = time.perf_counter() - start
+        if exc.report is None:
+            exc.report = report
+        raise
     finally:
         # Closing the stream cancels futures the pools have not started.
         close = getattr(stream, "close", None)
         if close is not None:
             close()
+        # Failure accounting outlives the stream — copy it even when the
+        # run is about to raise, so exc.report carries the full story.
+        report.failures = list(context.failures)
+        report.degraded = list(context.degradations)
+        report.pool_restarts = context.pool_restarts
     report.elapsed = time.perf_counter() - start
     missing = [i for i, b in enumerate(blocks) if b is None]
     if missing:  # pragma: no cover - executors yield every planned shard
@@ -249,6 +295,7 @@ def execute_delta(
     on_shard: Callable[[ShardResult], None] | None = None,
     on_plan: Callable[[ShardPlan], None] | None = None,
     should_stop: Callable[[], bool] | None = None,
+    faults: "FaultPlan | Any" = None,
 ) -> ExecOutcome:
     """Derive blocks for ``tuples``, reusing a previous run's clean blocks.
 
@@ -265,11 +312,7 @@ def execute_delta(
     chosen = get_executor(
         config.executor if executor is None else executor, config.workers
     )
-    context = ExecContext(
-        model=model,
-        knobs=ShardKnobs.from_config(config),
-        batch_engine=batch_engine,
-    )
+    context = _context(model, config, batch_engine, faults)
     split = carry.split(tuples, multi_batch_for(config))
 
     compiled = None

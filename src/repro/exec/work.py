@@ -42,6 +42,7 @@ from ..probdb.blocks import TupleBlock
 from ..probdb.distribution import Distribution
 from ..relational.tuples import RelTuple
 from .base import Shard, ShardResult
+from .faults import ShardFault, apply_fault
 
 __all__ = [
     "ShardKnobs",
@@ -187,9 +188,17 @@ def run_shard(
     knobs: ShardKnobs,
     batch_engine: BatchInferenceEngine | None = None,
     worker: str = "main",
+    fault: ShardFault | None = None,
+    deadline: float | None = None,
+    allow_crash: bool = False,
 ) -> ShardResult:
-    """Run one shard through the matching kernel, timing it."""
+    """Run one shard through the matching kernel, timing it.
+
+    ``fault`` is this attempt's injected fault (test/chaos harness only);
+    it fires before the kernel so a faulted attempt never produces blocks.
+    """
     start = time.perf_counter()
+    apply_fault(fault, deadline=deadline, allow_crash=allow_crash)
     if shard.kind == "single":
         blocks = single_shard_blocks(
             shard.tuples, model, knobs, batch_engine=batch_engine
@@ -251,8 +260,17 @@ def _process_worker_init(
     _WORKER_STATE = {"model": model, "engine": engine, "knobs": knobs}
 
 
-def _process_run_shard(shard: Shard) -> ShardResult:
-    """Run one shard against the worker's warm state."""
+def _process_run_shard(
+    shard: Shard,
+    fault: ShardFault | None = None,
+    deadline: float | None = None,
+) -> ShardResult:
+    """Run one shard against the worker's warm state.
+
+    ``fault`` is decided per attempt by the parent's retry loop and shipped
+    with the task; a ``"crash"`` fault hard-exits this worker, breaking the
+    pool — exactly the failure mode the parent's recovery path handles.
+    """
     state = _WORKER_STATE
     if state is None:  # pragma: no cover - initializer always runs first
         raise RuntimeError("worker process was not initialized")
@@ -262,4 +280,7 @@ def _process_run_shard(shard: Shard) -> ShardResult:
         state["knobs"],
         batch_engine=state["engine"],
         worker=f"pid-{os.getpid()}",
+        fault=fault,
+        deadline=deadline,
+        allow_crash=True,
     )

@@ -19,6 +19,7 @@ the same tracker in-process.  See ``docs/jobs.md``.
 
 from .manager import JOB_STATES, Job, JobManager, UnknownJobError
 from .progress import ProgressSnapshot, ProgressTracker
+from .store import JobRecord, JobStore
 
 __all__ = [
     "JOB_STATES",
@@ -27,4 +28,6 @@ __all__ = [
     "UnknownJobError",
     "ProgressSnapshot",
     "ProgressTracker",
+    "JobRecord",
+    "JobStore",
 ]

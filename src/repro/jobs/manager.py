@@ -28,10 +28,13 @@ import queue
 import threading
 import time
 import uuid
-from typing import Any, Callable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from ..exec.base import DerivationCancelled
 from .progress import ProgressTracker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .store import JobStore
 
 __all__ = ["JOB_STATES", "Job", "JobManager", "UnknownJobError"]
 
@@ -54,10 +57,19 @@ class Job:
     threads read).
     """
 
-    def __init__(self, job_id: str, label: str, workers: int = 1):
+    def __init__(
+        self,
+        job_id: str,
+        label: str,
+        workers: int = 1,
+        store: "JobStore | None" = None,
+    ):
         self.id = job_id
         self.label = label
         self.created_at = time.time()
+        #: durable journal (when the manager has one); all journal writes
+        #: are best-effort — durability degrades, derivations never die
+        self.store = store
         self.tracker = ProgressTracker(
             workers=workers, on_event=self._tracker_event
         )
@@ -162,41 +174,89 @@ class Job:
             return list(self._events[max(0, after):])
 
     def iter_events(
-        self, after: int = 0, timeout: float | None = None
+        self,
+        after: int = 0,
+        timeout: float | None = None,
+        heartbeat: float | None = None,
     ) -> Iterator[dict[str, Any]]:
         """Yield events as they land, ending after the terminal event.
 
         ``timeout`` bounds each wait for the *next* event; on expiry the
         iterator stops (the service uses this to bound a streaming
-        response's lifetime).
+        response's lifetime).  ``heartbeat`` (seconds) yields a synthetic
+        ``{"event": "heartbeat"}`` payload whenever the stream has been
+        idle that long — keepalive for proxies and clients watching a slow
+        shard.  Heartbeats are never appended to the event log and carry
+        the last *delivered* ``seq``, so they cannot perturb real event
+        sequence numbers; the per-event ``timeout`` clock still governs
+        stream lifetime independently.
         """
         seq = max(0, after)
+        waited = 0.0
+        idle = 0.0
         while True:
+            slice_ = timeout
+            if heartbeat is not None:
+                remaining_beat = heartbeat - idle
+                slice_ = (
+                    remaining_beat
+                    if timeout is None
+                    else min(timeout - waited, remaining_beat)
+                )
+                slice_ = max(slice_, 0.0)
+            began = time.monotonic()
             with self._cond:
                 ok = self._cond.wait_for(
                     lambda: len(self._events) > seq
                     or self._state in TERMINAL_STATES,
-                    timeout=timeout,
+                    timeout=slice_,
                 )
-                if not ok:
+                fresh = list(self._events[seq:]) if ok else []
+                terminal = ok and self._state in TERMINAL_STATES
+            elapsed = time.monotonic() - began
+            if not ok:
+                waited += elapsed
+                idle += elapsed
+                if timeout is not None and waited >= timeout:
                     return
-                fresh = list(self._events[seq:])
-                terminal = self._state in TERMINAL_STATES
+                if heartbeat is not None and idle >= heartbeat:
+                    idle = 0.0
+                    yield {"event": "heartbeat", "job_id": self.id, "seq": seq}
+                continue
+            waited = 0.0
+            idle = 0.0
             for event in fresh:
                 seq = event["seq"]
                 yield event
             if terminal and (not fresh or fresh[-1]["event"] in TERMINAL_STATES):
                 return
 
-    def _tracker_event(self, kind: str, snapshot, result=None) -> None:
+    def _tracker_event(self, kind: str, snapshot, source=None) -> None:
         payload: dict[str, Any] = {
             "event": kind,
             "job_id": self.id,
             "progress": snapshot.to_dict(),
         }
-        if result is not None:
-            payload["shard"] = result.summary_dict()
+        if kind == "shard" and source is not None:
+            payload["shard"] = source.summary_dict()
+        self._journal(kind, source)
         self._append(payload)
+
+    def _journal(self, kind: str, source) -> None:
+        """Mirror plan/shard events into the durable store (best-effort)."""
+        if self.store is None or source is None:
+            return
+        try:
+            if kind == "plan":
+                self.store.record_plan(
+                    self.id, getattr(source, "base_seed", None)
+                )
+            elif kind == "shard":
+                self.store.record_shard(
+                    self.id, source.key, source.kind, source.blocks
+                )
+        except Exception:  # a full disk must not kill the derivation
+            pass
 
     def _append(self, payload: dict[str, Any]) -> None:
         with self._cond:
@@ -213,6 +273,7 @@ class Job:
         with self._cond:
             self._state = "running"
             self._cond.notify_all()
+        self._journal_state("running")
 
     def _finish(
         self, state: str, result: Any = None, error: str | None = None
@@ -234,6 +295,18 @@ class Job:
                     "progress": progress,
                 }
             )
+        self._journal_state(state, error=error)
+
+    def _journal_state(self, state: str, error: str | None = None) -> None:
+        if self.store is None:
+            return
+        try:
+            self.store.set_state(self.id, state, error=error)
+            if state == "done":
+                # Finished work will never be resumed; drop its shards.
+                self.store.clear_shards(self.id)
+        except Exception:  # journal loss degrades durability, nothing else
+            pass
 
     def __repr__(self) -> str:
         return f"Job({self.id!r}, state={self.state!r})"
@@ -249,13 +322,18 @@ class JobManager:
     """
 
     def __init__(
-        self, workers: int = 1, prefix: str = "job", max_finished: int = 64
+        self,
+        workers: int = 1,
+        prefix: str = "job",
+        max_finished: int = 64,
+        store: "JobStore | None" = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
         if max_finished < 1:
             raise ValueError(f"max_finished must be positive, got {max_finished}")
         self._prefix = prefix
+        self.store = store
         self._worker_count = workers
         self._max_finished = max_finished
         self._jobs: dict[str, Job] = {}
@@ -274,20 +352,47 @@ class JobManager:
         work: Callable[[Job], Any],
         label: str = "derive",
         workers: int = 1,
+        endpoint: str | None = None,
+        request: dict[str, Any] | None = None,
+        job_id: str | None = None,
     ) -> Job:
         """Queue ``work`` (called with its :class:`Job`) on a worker thread.
 
         ``workers`` is the *derivation's* executor pool size, used only to
-        size the progress tracker's running-shards estimate.
+        size the progress tracker's running-shards estimate.  When the
+        manager has a durable store and the caller supplies ``endpoint`` +
+        ``request`` (the JSON submission), the job is journaled so a killed
+        server can resume it on restart.  ``job_id`` re-adopts a journaled
+        id during that resume instead of minting a fresh one.
         """
-        job_id = f"{self._prefix}-{next(self._counter)}-{uuid.uuid4().hex[:8]}"
-        job = Job(job_id, label=label, workers=workers)
+        resumed = job_id is not None
+        if job_id is None:
+            job_id = (
+                f"{self._prefix}-{next(self._counter)}-{uuid.uuid4().hex[:8]}"
+            )
+        journal = self.store is not None and (resumed or request is not None)
+        job = Job(
+            job_id,
+            label=label,
+            workers=workers,
+            store=self.store if journal else None,
+        )
         with self._lock:
             if self._closed:
                 raise RuntimeError("JobManager is closed")
             self._jobs[job_id] = job
             self._evict_finished()
             self._ensure_workers()
+        if journal:
+            try:
+                if resumed:
+                    self.store.set_state(job_id, "queued")
+                else:
+                    self.store.create_job(
+                        job_id, label, endpoint or label, request or {}
+                    )
+            except Exception:  # durability is best-effort
+                pass
         self._queue.put((job, work))
         return job
 
@@ -313,22 +418,47 @@ class JobManager:
             if item is None:
                 return
             job, work = item
-            if job.cancel_requested:
-                job._finish("cancelled", error="cancelled before start")
-                continue
-            job._begin()
             try:
-                result = work(job)
-            except DerivationCancelled as exc:
-                # Preserve the partial per-shard report: what did complete,
-                # with timings, before the boundary check stopped the run.
-                if exc.report is not None:
-                    job.exec_report = exc.report.to_dict()
-                job._finish("cancelled", error=str(exc))
-            except Exception as exc:  # noqa: BLE001 - job isolation boundary
-                job._finish("failed", error=f"{type(exc).__name__}: {exc}")
-            else:
-                job._finish("done", result=result)
+                self._run_job(job, work)
+            except Exception as exc:  # noqa: BLE001 - keep the worker alive
+                # _run_job isolates failures *inside* the work callable; an
+                # exception here means the job machinery itself broke (a
+                # journal write, a state transition).  Mark the job failed
+                # if it still can be, and keep serving the queue — a wedged
+                # FIFO would silently strand every later submission.
+                try:
+                    if not job.finished:
+                        job._finish(
+                            "failed",
+                            error=f"job runner error: "
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                except Exception:
+                    pass
+
+    def _run_job(self, job: Job, work: Callable[[Job], Any]) -> None:
+        """Run one job through its lifecycle, isolating work failures."""
+        if job.cancel_requested:
+            job._finish("cancelled", error="cancelled before start")
+            return
+        job._begin()
+        try:
+            result = work(job)
+        except DerivationCancelled as exc:
+            # Preserve the partial per-shard report: what did complete,
+            # with timings, before the boundary check stopped the run.
+            if exc.report is not None:
+                job.exec_report = exc.report.to_dict()
+            job._finish("cancelled", error=str(exc))
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            report = getattr(exc, "report", None)
+            if report is not None and hasattr(report, "to_dict"):
+                # Executor failures (shard exhaustion, pool death) attach
+                # their partial ExecReport; surface it like cancellation.
+                job.exec_report = report.to_dict()
+            job._finish("failed", error=f"{type(exc).__name__}: {exc}")
+        else:
+            job._finish("done", result=result)
 
     # -- lookup ------------------------------------------------------------
 

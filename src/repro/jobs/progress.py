@@ -105,11 +105,12 @@ class ProgressSnapshot:
 class ProgressTracker:
     """Accumulates plan + shard-result events into progress snapshots.
 
-    ``on_event`` (when given) is called with ``("plan", snapshot)`` once and
-    ``("shard", snapshot, result)`` per completed shard, after the tracker's
-    own state has been updated — the fan-out point for job event streams and
-    progress bars.  The tracker never raises through its hooks' caller, so
-    a broken observer cannot corrupt a derivation.
+    ``on_event`` (when given) is called with ``("plan", snapshot, plan)``
+    once and ``("shard", snapshot, result)`` per completed shard, after the
+    tracker's own state has been updated — the fan-out point for job event
+    streams, durable journals, and progress bars.  The tracker never raises
+    through its hooks' caller, so a broken observer cannot corrupt a
+    derivation.
     """
 
     def __init__(
@@ -155,7 +156,7 @@ class ProgressTracker:
             self._busy_seconds = 0.0
             self._carried_over = getattr(plan, "carried_over", 0)
             self._carried_tuples = getattr(plan, "carried_tuples", 0)
-        self._emit("plan")
+        self._emit("plan", plan)
 
     def on_shard(self, result: "ShardResult") -> None:
         """Record one completed shard."""
@@ -165,6 +166,11 @@ class ProgressTracker:
             self._tuples_timed += len(result)
             self._busy_seconds += result.elapsed
         self._emit("shard", result)
+
+    # -- observer contract ---------------------------------------------------
+    # ``on_event`` is called as ``(kind, snapshot, source)`` where ``source``
+    # is the ShardPlan for "plan" events and the ShardResult for "shard"
+    # events — observers that only need the snapshot take ``*rest``.
 
     # -- readings ----------------------------------------------------------
 
@@ -203,15 +209,12 @@ class ProgressTracker:
             carried_tuples=self._carried_tuples,
         )
 
-    def _emit(self, kind: str, result: "ShardResult | None" = None) -> None:
+    def _emit(self, kind: str, source: Any = None) -> None:
         if self._on_event is None:
             return
         snap = self.snapshot()
         try:
-            if kind == "plan":
-                self._on_event("plan", snap)
-            else:
-                self._on_event("shard", snap, result)
+            self._on_event(kind, snap, source)
         except Exception:  # a broken observer must not kill the derivation
             pass
 

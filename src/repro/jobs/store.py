@@ -1,0 +1,242 @@
+"""Durable job journal: SQLite-backed state for restartable servers.
+
+A :class:`JobStore` makes ``repro serve --state-dir DIR`` survive its own
+death.  Every async job is journaled as it runs:
+
+* the **jobs** table records the submission (endpoint + request payload),
+  every state transition, the plan's base seed, and the terminal
+  error/result metadata;
+* the **shards** table records each completed shard's blocks (pickled), so
+  an interrupted derivation's finished work is never lost.
+
+On restart, :meth:`load_resumable` returns the jobs that were ``queued`` or
+``running`` when the process died; the service re-plans each one and hands
+the journaled shards to the delta runtime as a
+:class:`~repro.probdb.invalidate.CarryStore` — completed shards are carried
+verbatim, only unfinished shards execute, and the journaled base seed pins
+the plan so the resumed result is bit-identical to an uninterrupted run.
+
+Writes happen on the job worker thread while reads come from HTTP handler
+threads, so the store serializes all access behind one lock and one
+connection (WAL mode keeps that cheap).  Journaling is best-effort by
+contract: callers wrap writes so a full disk degrades durability, never a
+running derivation.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..probdb.blocks import TupleBlock
+    from ..probdb.invalidate import CarryStore
+
+__all__ = ["JobStore", "JobRecord"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id         TEXT PRIMARY KEY,
+    label      TEXT NOT NULL,
+    state      TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    updated_at REAL NOT NULL,
+    endpoint   TEXT NOT NULL,
+    request    TEXT NOT NULL,
+    base_seed  INTEGER,
+    error      TEXT,
+    result     TEXT
+);
+CREATE TABLE IF NOT EXISTS shards (
+    job_id  TEXT NOT NULL,
+    key     TEXT NOT NULL,
+    kind    TEXT NOT NULL,
+    payload BLOB NOT NULL,
+    PRIMARY KEY (job_id, key)
+);
+"""
+
+
+class JobRecord:
+    """One journaled job row, as plain attributes."""
+
+    __slots__ = (
+        "id", "label", "state", "created_at", "updated_at",
+        "endpoint", "request", "base_seed", "error", "result",
+    )
+
+    def __init__(self, row: sqlite3.Row):
+        self.id = row["id"]
+        self.label = row["label"]
+        self.state = row["state"]
+        self.created_at = row["created_at"]
+        self.updated_at = row["updated_at"]
+        self.endpoint = row["endpoint"]
+        self.request = json.loads(row["request"])
+        self.base_seed = row["base_seed"]
+        self.error = row["error"]
+        self.result = None if row["result"] is None else json.loads(row["result"])
+
+    def __repr__(self) -> str:
+        return f"JobRecord({self.id!r}, state={self.state!r})"
+
+
+class JobStore:
+    """SQLite journal of jobs and their completed shards.
+
+    One connection, one lock: SQLite serializes writers anyway, and the
+    write rate (one row per shard) is far below what WAL sustains.
+    """
+
+    def __init__(self, state_dir: "Path | str"):
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.state_dir / "jobs.sqlite3"
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    # -- writes (worker thread) ---------------------------------------------
+
+    def create_job(
+        self,
+        job_id: str,
+        label: str,
+        endpoint: str,
+        request: dict[str, Any],
+    ) -> None:
+        """Journal a fresh submission (state ``queued``)."""
+        now = time.time()
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO jobs "
+                "(id, label, state, created_at, updated_at, endpoint, request)"
+                " VALUES (?, ?, 'queued', ?, ?, ?, ?)",
+                (job_id, label, now, now, endpoint, json.dumps(request)),
+            )
+            self._conn.commit()
+
+    def set_state(
+        self,
+        job_id: str,
+        state: str,
+        error: str | None = None,
+        result: dict[str, Any] | None = None,
+    ) -> None:
+        """Record a state transition (and terminal error/result metadata)."""
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, updated_at = ?, error = ?, "
+                "result = ? WHERE id = ?",
+                (
+                    state,
+                    time.time(),
+                    error,
+                    None if result is None else json.dumps(result),
+                    job_id,
+                ),
+            )
+            self._conn.commit()
+
+    def record_plan(self, job_id: str, base_seed: int | None) -> None:
+        """Pin the plan's base seed — the key to bit-identical resume."""
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET base_seed = ?, updated_at = ? WHERE id = ?",
+                (base_seed, time.time(), job_id),
+            )
+            self._conn.commit()
+
+    def record_shard(
+        self,
+        job_id: str,
+        key: str,
+        kind: str,
+        blocks: "Sequence[TupleBlock]",
+    ) -> None:
+        """Journal one completed shard's blocks (idempotent per key)."""
+        payload = pickle.dumps(list(blocks), protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO shards (job_id, key, kind, payload) "
+                "VALUES (?, ?, ?, ?)",
+                (job_id, key, kind, payload),
+            )
+            self._conn.commit()
+
+    def clear_shards(self, job_id: str) -> None:
+        """Drop a job's journaled shards (after a successful finish)."""
+        with self._lock:
+            self._conn.execute("DELETE FROM shards WHERE job_id = ?", (job_id,))
+            self._conn.commit()
+
+    # -- reads (boot / handler threads) --------------------------------------
+
+    def get(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        return None if row is None else JobRecord(row)
+
+    def load_jobs(self) -> list[JobRecord]:
+        """Every journaled job, oldest first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs ORDER BY created_at"
+            ).fetchall()
+        return [JobRecord(r) for r in rows]
+
+    def load_resumable(self) -> list[JobRecord]:
+        """Jobs interrupted mid-flight: ``queued`` or ``running`` at death."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs WHERE state IN ('queued', 'running') "
+                "ORDER BY created_at"
+            ).fetchall()
+        return [JobRecord(r) for r in rows]
+
+    def load_shards(
+        self, job_id: str
+    ) -> "list[tuple[str, str, list[TupleBlock]]]":
+        """The journaled ``(key, kind, blocks)`` rows of one job."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key, kind, payload FROM shards WHERE job_id = ?",
+                (job_id,),
+            ).fetchall()
+        return [
+            (row["key"], row["kind"], pickle.loads(row["payload"]))
+            for row in rows
+        ]
+
+    def load_carry(self, job_id: str) -> "CarryStore | None":
+        """A :class:`~repro.probdb.invalidate.CarryStore` of the journaled
+        shards, or None when nothing completed before the interruption."""
+        from ..probdb.invalidate import CarryStore
+
+        record = self.get(job_id)
+        shards = self.load_shards(job_id)
+        base_seed = None if record is None else record.base_seed
+        if not shards and base_seed is None:
+            return None
+        # No completed shards but a journaled seed still pins the plan:
+        # an empty carry re-derives everything under the original seed.
+        return CarryStore.from_shards(shards, base_seed)
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __repr__(self) -> str:
+        return f"JobStore({str(self.path)!r})"

@@ -119,6 +119,32 @@ class CarryStore:
                 multi[key] = {multi_blocks[i].base: multi_blocks[i] for i, _ in batch}
         return cls(singles=singles, multi=multi, base_seed=base_seed)
 
+    @classmethod
+    def from_shards(
+        cls,
+        records: "Sequence[tuple[str, str, Sequence[TupleBlock]]]",
+        base_seed: int | None,
+    ) -> "CarryStore":
+        """Rebuild the store from journaled shard results.
+
+        ``records`` are ``(key, kind, blocks)`` rows as a durable job store
+        journals them — the completed shards of an interrupted run.  Single
+        shards contribute per-base blocks (packing is irrelevant: singles
+        are content-addressed by base tuple); multi shards keep their
+        content key, which a resumed plan of the same workload reproduces.
+        ``base_seed`` must be the interrupted run's journaled base seed so
+        the still-dirty multi shards re-derive under the same seed.
+        """
+        singles: dict[RelTuple, TupleBlock] = {}
+        multi: dict[str, dict[RelTuple, TupleBlock]] = {}
+        for key, kind, blocks in records:
+            if kind == "single":
+                for block in blocks:
+                    singles.setdefault(block.base, block)
+            else:
+                multi[key] = {block.base: block for block in blocks}
+        return cls(singles=singles, multi=multi, base_seed=base_seed)
+
     def split(
         self,
         tuples: Sequence[RelTuple],

@@ -61,6 +61,14 @@ class RelTuple:
         self.codes = arr
         self._hash = hash((schema, arr.tobytes()))
 
+    def __reduce__(self):
+        # Rebuild through __init__ rather than restoring slots: the cached
+        # ``_hash`` is salted per process (PYTHONHASHSEED), so a pickled
+        # hash from another interpreter would break dict/set lookups —
+        # e.g. blocks journaled by a killed server, or results shipped
+        # back from spawned worker processes.
+        return (self.__class__, (self.schema, self.codes))
+
     # -- construction -----------------------------------------------------
 
     @classmethod

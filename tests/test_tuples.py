@@ -158,3 +158,30 @@ class TestTransforms:
     def test_repr_is_readable(self, t1):
         assert "age=20" in repr(t1)
         assert "inc=?" in repr(t1)
+
+    def test_pickle_recomputes_hash_across_processes(self, fig1_schema):
+        # The cached hash is salted per process (PYTHONHASHSEED); a pickled
+        # tuple restored in another interpreter must not keep the stale
+        # value, or journaled blocks stop matching their workload tuples.
+        import os
+        import pickle
+        import subprocess
+        import sys
+
+        t = make_tuple(fig1_schema, {"age": "20", "edu": "HS"})
+        out = subprocess.run(
+            [
+                sys.executable, "-c",
+                "import pickle, sys; "
+                "sys.stdout.buffer.write("
+                "pickle.dumps(pickle.loads(sys.stdin.buffer.read())))",
+            ],
+            input=pickle.dumps(t),
+            capture_output=True,
+            check=True,
+            env={**os.environ, "PYTHONHASHSEED": "4242"},
+        )
+        back = pickle.loads(out.stdout)
+        assert back == t
+        assert hash(back) == hash(t)
+        assert back in {t}
